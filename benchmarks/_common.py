@@ -1,0 +1,84 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints its rows/series, and writes them to ``benchmarks/output/`` so
+the artifacts survive pytest's output capture. Simulation scale is
+controlled with ``REPRO_BENCH_SCALE``:
+
+* ``smoke`` — minimal windows, for CI sanity;
+* ``fast``  — the default: shapes are stable, minutes of wall time;
+* ``full``  — paper-like sweeps (longer windows, all core counts).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.figures import FigureData
+from repro.experiments.reporting import render_series
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_SCALES: Dict[str, Dict] = {
+    "smoke": dict(
+        core_counts=(1, 4),
+        core_counts_wide=(4, 16),
+        dctcp_core_counts=(2,),
+        warmup=6_000.0,
+        measure=15_000.0,
+        warmup_long=20_000.0,
+        measure_long=40_000.0,
+    ),
+    "fast": dict(
+        core_counts=(1, 2, 4, 6),
+        core_counts_wide=(4, 12, 20, 28),
+        dctcp_core_counts=(2, 4),
+        warmup=15_000.0,
+        measure=40_000.0,
+        warmup_long=40_000.0,
+        measure_long=80_000.0,
+    ),
+    "full": dict(
+        core_counts=(1, 2, 3, 4, 5, 6),
+        core_counts_wide=(4, 8, 12, 16, 20, 24, 28),
+        dctcp_core_counts=(1, 2, 3, 4),
+        warmup=30_000.0,
+        measure=100_000.0,
+        warmup_long=60_000.0,
+        measure_long=150_000.0,
+    ),
+}
+
+
+def scale() -> Dict:
+    """The active benchmark scale parameters."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "fast")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return dict(_SCALES[name])
+
+
+def run_once(benchmark, fn):
+    """Run a figure builder exactly once under pytest-benchmark.
+
+    Figure builders are full experiment sweeps; repeating them for
+    statistical timing would multiply minutes of work for no insight,
+    so every benchmark uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def publish(data: FigureData) -> str:
+    """Render a figure's series, print it, and save it to output/."""
+    text = render_series(data.title, data.x_label, data.series, data.x_values)
+    if data.notes:
+        text = f"{text}\nNotes: {data.notes}"
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{data.figure_id}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,175 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes or resizes one mechanism the paper identifies as
+a root cause and checks the predicted directional effect:
+
+* bank placement (page scatter + XOR hash) -> blue-regime strength;
+* WPQ size -> red-regime backpressure;
+* IIO write credits -> P2M tolerance to latency inflation (§5.1's
+  spare-credit argument);
+* LFB size -> the C2M-Read bound T = C x 64 / L.
+"""
+
+import pytest
+
+from _common import publish, run_once, scale
+from repro import Host, RequestKind, cascade_lake
+from repro.experiments.figures import FigureData
+from repro.sim.records import CACHELINE_BYTES
+
+
+def _q1_point(config, n_cores, warmup, measure):
+    host = Host(config)
+    host.add_stream_cores(n_cores, store_fraction=0.0)
+    iso = host.run(warmup, measure)
+    host = Host(config)
+    host.add_stream_cores(n_cores, store_fraction=0.0)
+    host.add_raw_dma(RequestKind.WRITE)
+    co = host.run(warmup, measure)
+    return iso, co
+
+
+def test_ablation_bank_placement(benchmark):
+    """Scattered pages + XOR hash drive the row-miss inflation of §5.1;
+    hugepage-like contiguous placement keeps row locality near-perfect
+    in isolation."""
+    params = scale()
+
+    def build():
+        data = FigureData(
+            "ablation_bank_placement",
+            "Ablation: physical placement vs blue-regime root causes (Q1, 4 cores)",
+            "variant",
+            ["scatter+hash", "scatter, no hash", "contiguous"],
+        )
+        degradations, rm_iso, rm_co = [], [], []
+        variants = [
+            cascade_lake(),
+            cascade_lake(xor_bank_hash=False),
+            cascade_lake(page_scatter=False),
+        ]
+        for config in variants:
+            iso, co = _q1_point(config, 4, params["warmup"], params["measure"])
+            degradations.append(
+                iso.class_bandwidth("c2m") / co.class_bandwidth("c2m")
+            )
+            rm_iso.append(iso.row_miss_ratio["c2m.read"])
+            rm_co.append(co.row_miss_ratio["c2m.read"])
+        data.add("c2m_degradation", degradations)
+        data.add("row_miss_isolated", rm_iso)
+        data.add("row_miss_colocated", rm_co)
+        return data
+
+    data = run_once(benchmark, build)
+    publish(data)
+    rm_iso = data.series["row_miss_isolated"]
+    # Contiguous placement has near-perfect row locality in isolation.
+    assert rm_iso[2] < 0.5 * rm_iso[0]
+    # Every variant still shows colocation-driven row-miss inflation.
+    for iso, co in zip(rm_iso, data.series["row_miss_colocated"]):
+        assert co >= iso
+
+
+def test_ablation_wpq_size(benchmark):
+    """A smaller WPQ fills sooner, triggering the red-regime
+    backpressure (write backlog at the CHA) at lower load."""
+    params = scale()
+    sizes = [16, 48, 96]
+
+    def build():
+        data = FigureData(
+            "ablation_wpq_size",
+            "Ablation: WPQ size vs red-regime backpressure (Q3, 5 cores)",
+            "wpq_size",
+            sizes,
+        )
+        fills, waits, p2m_lat = [], [], []
+        for size in sizes:
+            config = cascade_lake(wpq_size=size)
+            host = Host(config)
+            host.add_stream_cores(5, store_fraction=1.0)
+            host.add_raw_dma(RequestKind.WRITE)
+            run = host.run(params["warmup_long"], params["measure_long"])
+            fills.append(run.wpq_full_fraction)
+            waits.append(run.cha_write_waiting_avg)
+            p2m_lat.append(run.latency("p2m_write", "p2m"))
+        data.add("wpq_full_fraction", fills)
+        data.add("n_waiting", waits)
+        data.add("p2m_write_latency", p2m_lat)
+        return data
+
+    data = run_once(benchmark, build)
+    publish(data)
+    fills = data.series["wpq_full_fraction"]
+    assert fills[0] > fills[-1]
+
+
+def test_ablation_iio_write_credits(benchmark):
+    """§5.1's spare-credit argument: more IIO write credits tolerate
+    more latency inflation before P2M throughput degrades."""
+    params = scale()
+    credit_sizes = [48, 92, 184]
+
+    def build():
+        data = FigureData(
+            "ablation_iio_credits",
+            "Ablation: IIO write credits vs P2M degradation (Q3, 5 cores)",
+            "iio_write_entries",
+            credit_sizes,
+        )
+        iso_bw, co_bw, degradations = [], [], []
+        for credits in credit_sizes:
+            config = cascade_lake(iio_write_entries=credits)
+            host = Host(config)
+            host.add_raw_dma(RequestKind.WRITE)
+            iso = host.run(params["warmup"], params["measure"])
+            host = Host(config)
+            host.add_stream_cores(5, store_fraction=1.0)
+            host.add_raw_dma(RequestKind.WRITE)
+            co = host.run(params["warmup_long"], params["measure_long"])
+            iso_bw.append(iso.device_bandwidth("dma"))
+            co_bw.append(co.device_bandwidth("dma"))
+            degradations.append(iso_bw[-1] / co_bw[-1])
+        data.add("p2m_isolated", iso_bw)
+        data.add("p2m_colocated", co_bw)
+        data.add("p2m_degradation", degradations)
+        return data
+
+    data = run_once(benchmark, build)
+    publish(data)
+    degradations = data.series["p2m_degradation"]
+    assert degradations[0] > degradations[-1]
+
+
+def test_ablation_lfb_size(benchmark):
+    """The C2M-Read bound T = C x 64 / L: single-core bandwidth scales
+    with the LFB credit pool (sub-linearly once latency rises)."""
+    params = scale()
+    sizes = [6, 10, 14]
+
+    def build():
+        data = FigureData(
+            "ablation_lfb_size",
+            "Ablation: LFB size vs single-core C2M-Read throughput",
+            "lfb_size",
+            sizes,
+        )
+        bandwidths, latencies, bounds = [], [], []
+        for size in sizes:
+            host = Host(cascade_lake(lfb_size=size))
+            host.add_stream_cores(1, store_fraction=0.0)
+            run = host.run(params["warmup"], params["measure"])
+            bandwidths.append(run.class_bandwidth("c2m"))
+            latencies.append(run.latency("c2m_read"))
+            bounds.append(size * CACHELINE_BYTES / run.latency("c2m_read"))
+        data.add("bandwidth", bandwidths)
+        data.add("latency", latencies)
+        data.add("bound_C64_over_L", bounds)
+        return data
+
+    data = run_once(benchmark, build)
+    publish(data)
+    bandwidths = data.series["bandwidth"]
+    assert bandwidths[0] < bandwidths[1] < bandwidths[2]
+    for bw, bound in zip(bandwidths, data.series["bound_C64_over_L"]):
+        assert bw == pytest.approx(bound, rel=0.06)

@@ -1,0 +1,64 @@
+"""Future-work mitigations (§7) under the red regime.
+
+Compares quadrant 3 at high load under three policies:
+
+* baseline — the paper's host as measured;
+* hostCC-within-host — AIMD core throttling off the P2M-Write latency
+  signal (``repro.ext.hostcc``);
+* MC isolation — peripheral writes served ahead of core writebacks in
+  write drains (``p2m_write_priority``).
+
+Expected shape: both mitigations reduce P2M-Write latency; hostCC
+restores P2M throughput at a steep C2M cost, MC priority is a milder
+free win.
+"""
+
+from _common import publish, run_once, scale
+from repro import Host, RequestKind, cascade_lake
+from repro.experiments.figures import FigureData
+from repro.ext import HostCongestionController
+
+
+def test_ext_red_regime_mitigations(benchmark):
+    params = scale()
+    warmup, measure = params["warmup_long"], params["measure_long"]
+
+    def build():
+        variants = {}
+        for name in ("baseline", "hostcc", "mc_priority"):
+            host = Host(
+                cascade_lake(p2m_write_priority=(name == "mc_priority"))
+            )
+            host.add_stream_cores(6, store_fraction=1.0)
+            host.add_raw_dma(RequestKind.WRITE)
+            if name == "hostcc":
+                HostCongestionController(host, target_latency_ns=360.0)
+            variants[name] = host.run(warmup, measure)
+        data = FigureData(
+            "ext_mitigations",
+            "Red-regime mitigations (Q3, 6 C2M cores, Cascade Lake)",
+            "variant",
+            list(variants),
+        )
+        data.add(
+            "p2m_bandwidth", [r.device_bandwidth("dma") for r in variants.values()]
+        )
+        data.add(
+            "p2m_write_latency",
+            [r.latency("p2m_write", "p2m") for r in variants.values()],
+        )
+        data.add(
+            "c2m_bandwidth", [r.class_bandwidth("c2m") for r in variants.values()]
+        )
+        data.add("wpq_full_fraction", [r.wpq_full_fraction for r in variants.values()])
+        return data
+
+    data = run_once(benchmark, build)
+    publish(data)
+    base_lat, hostcc_lat, prio_lat = data.series["p2m_write_latency"]
+    assert hostcc_lat < base_lat
+    assert prio_lat < base_lat
+    base_p2m, hostcc_p2m, _ = data.series["p2m_bandwidth"]
+    base_c2m, hostcc_c2m, _ = data.series["c2m_bandwidth"]
+    assert hostcc_p2m > base_p2m
+    assert hostcc_c2m < base_c2m

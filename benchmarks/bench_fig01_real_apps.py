@@ -1,0 +1,26 @@
+"""Figure 1: Redis / GAPBS vs FIO on Ice Lake (DDIO on).
+
+Expected shape: the C2M apps degrade (Redis ~1.25-1.32x, GAPBS up to
+~2x) while FIO stays at ~1.0, with memory bandwidth far from
+saturation.
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig1
+
+
+def test_fig01_real_apps(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig1(
+            core_counts=params["core_counts_wide"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    for app in ("redis", "gapbs"):
+        assert max(data.series[f"{app}_degradation"]) > 1.1
+        assert max(data.series[f"fio_degradation_vs_{app}"]) < 1.1
+        assert max(data.series[f"{app}_mem_util"]) < 0.9

@@ -1,0 +1,31 @@
+"""Figure 2: DDIO on/off on Cascade Lake.
+
+Expected shape: C2M apps degrade in both configurations; DDIO-on
+degradation is at least as bad as DDIO-off (the paper's surprising
+second-order effect), while FIO stays unaffected.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig2
+
+
+def test_fig02_ddio(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig2(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    for app in ("redis", "gapbs"):
+        on = np.array(data.series[f"{app}_ddio_on_degradation"])
+        off = np.array(data.series[f"{app}_ddio_off_degradation"])
+        assert on.max() > 1.05 and off.max() > 1.05
+        # On average, DDIO-on is at least as degraded as DDIO-off.
+        assert on.mean() >= off.mean() - 0.08
+        assert max(data.series[f"fio_ddio_on_degradation_vs_{app}"]) < 1.15

@@ -1,0 +1,29 @@
+"""Figure 3: blue and red regimes across the four quadrants.
+
+Expected shape: C2M degrades in every quadrant while P2M stays ~1.0
+(blue), except quadrant 3 where P2M degradation appears once memory
+bandwidth saturates (red).
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig3
+
+
+def test_fig03_quadrants(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig3(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    # Blue quadrants: P2M essentially unaffected everywhere.
+    for q in (1, 2, 4):
+        assert max(data.series[f"q{q}_p2m_degradation"]) < 1.12
+        assert max(data.series[f"q{q}_c2m_degradation"]) > 1.2
+    # Red quadrant: P2M degradation appears at the highest load.
+    q3_p2m = data.series["q3_p2m_degradation"]
+    assert q3_p2m[-1] > q3_p2m[0]

@@ -1,0 +1,37 @@
+"""Figure 6: evidence for domains and their characteristics.
+
+Expected shape: (a) LFB latency strictly exceeds and tracks the
+CHA->DRAM read latency; (c/d) the IIO (P2M-Write) latency includes the
+CHA->MC write latency and their inflations move together.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig6
+
+
+def test_fig06_domain_evidence(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig6(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    lfb = np.array(data.series["a_lfb_latency_c2m_read"])
+    cha_dram = np.array(data.series["a_cha_dram_read_latency"])
+    assert (lfb > cha_dram).all()
+    # Inflation tracks: the latency gap stays roughly constant.
+    gaps = lfb - cha_dram
+    assert gaps.std() < 0.25 * gaps.mean()
+    # Unloaded C2M-Read domain latency ~70 ns (paper §4.2).
+    assert 55.0 <= lfb[0] <= 85.0
+    # P2M-Write domain latency includes the CHA->MC write latency.
+    iio = np.array(data.series["c_iio_latency_p2m_write"])
+    cha_mc = np.array(data.series["c_cha_mc_write_latency"])
+    assert (iio > cha_mc).all()
+    assert 260.0 <= iio[0] <= 340.0  # ~300 ns unloaded

@@ -1,0 +1,30 @@
+"""Figure 8: root causes in quadrant 3 (C2M-ReadWrite + P2M-Write).
+
+Expected shape: beyond the saturation point the WPQ-full fraction and
+N_waiting rise sharply, inflating P2M-Write latency while the C2M-Read
+latency rises far less — the §5.2 asymmetry.
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig8
+
+
+def test_fig08_quadrant3(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig8(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    wpq_full = data.series["wpq_full_fraction"]
+    assert wpq_full[-1] > wpq_full[0]
+    assert wpq_full[-1] > 0.3
+    n_waiting = data.series["n_waiting"]
+    assert n_waiting[-1] > 3 * n_waiting[0]
+    p2m_lat = data.series["p2m_write_latency"]
+    assert p2m_lat[-1] > 1.25 * p2m_lat[0]
+    assert max(data.series["iio_write_occupancy"]) > 72.0

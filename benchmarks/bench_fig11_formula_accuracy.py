@@ -1,0 +1,45 @@
+"""Figure 11: accuracy of the analytical formula's throughput estimates.
+
+Expected shape (matching the paper's): C2M errors stay bounded for
+quadrants 1/2/4 at every load; quadrant-3 C2M error *grows* with core
+count once the red regime engages — the formula misses a latency source
+there. On the paper's hardware that source is CHA admission delay and
+the correction restores <10%; in the simulator part of the residual is
+write-drain blocking, so the correction narrows but does not eliminate
+the gap (documented in EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig11
+
+
+def test_fig11_formula_accuracy(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig11(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    # Read-stream quadrants hold at every load.
+    for q in (1, 2):
+        errors = np.abs(data.series[f"q{q}_c2m_error"])
+        assert errors.max() < 0.25, f"q{q} error too large: {errors}"
+        assert errors[0] < 0.12, f"q{q} unloaded error too large: {errors}"
+    # The store-stream quadrant 4 shares quadrant 3's high-load error
+    # growth (write-drain blocking the formula does not model); hold it
+    # tight at low load only.
+    q4 = np.abs(data.series["q4_c2m_error"])
+    assert q4[0] < 0.12 and q4[1] < 0.20
+    raw = np.array(data.series["q3_c2m_error_raw"])
+    corrected = np.array(data.series["q3_c2m_error_corrected"])
+    # The paper's raw-Q3 signature: error grows with load (overestimate).
+    assert raw[-1] > raw[0]
+    # The CHA-admission correction never makes it worse.
+    assert abs(corrected[-1]) <= abs(raw[-1]) + 0.02
+    assert np.abs(data.series["q3_p2m_error_corrected"]).max() < 0.35

@@ -1,0 +1,32 @@
+"""Figure 12: breakdown of the formula's queueing-delay components.
+
+Expected shape: Q1 — WriteHoL dominant at 1 core, ReadHoL grows with
+cores; Q2 — no WriteHoL (no writes); Q4 — ReadHoL dominant; Q3 — CHA
+admission delay appears at high core counts.
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.figures import fig12
+
+
+def test_fig12_formula_breakdown(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig12(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    # Q1: WriteHoL >= ReadHoL at the lowest core count; ReadHoL grows.
+    assert data.series["q1_write_hol"][0] >= data.series["q1_read_hol"][0]
+    assert data.series["q1_read_hol"][-1] > data.series["q1_read_hol"][0]
+    # Q2: no writes -> no WriteHoL / switching.
+    assert max(data.series["q2_write_hol"]) < 1.0
+    assert max(data.series["q2_switching"]) < 1.0
+    # Q4: ReadHoL dominates at the highest load.
+    assert data.series["q4_read_hol"][-1] >= data.series["q4_write_hol"][-1]
+    # Q3: write-side (P2M) components present under saturation.
+    assert data.series["q3_p2m_read_hol"][-1] > 0.0

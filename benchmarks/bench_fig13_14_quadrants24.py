@@ -1,0 +1,51 @@
+"""Figures 13/14 (Appendix A): root causes in quadrants 2 and 4.
+
+Expected shape: C2M-Read latency inflates when colocated, the in-flight
+P2M read count stays below the read-domain credit limit (spare credits
+mask the inflation), and the P2M-Read latency inflates without
+throughput consequences.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.appendix import fig13, fig14
+from repro.topology.presets import cascade_lake
+
+
+def _check(data):
+    with_p2m = np.array(data.series["c2m_read_latency_with_p2m"])
+    without = np.array(data.series["c2m_read_latency_without_p2m"])
+    assert (with_p2m > without).all()
+    credits = cascade_lake().iio_read_entries
+    assert max(data.series["iio_read_occupancy"]) < credits
+    p2m_lat = data.series["p2m_read_latency"]
+    assert p2m_lat[-1] > p2m_lat[0]
+
+
+def test_fig13_quadrant2(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig13(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    _check(data)
+
+
+def test_fig14_quadrant4(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig14(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    _check(data)

@@ -1,0 +1,70 @@
+"""Figures 15-17 (Appendix B): real apps across all read/write combos.
+
+Expected shape: C2M apps degrade, FIO does not, for every combination;
+with P2M *reads* the DDIO on/off curves coincide (reads do not
+allocate), while with P2M writes DDIO-on is at least as degraded.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.appendix import fig15, fig16, fig17
+
+
+def _series_pairs(data, apps):
+    for app in apps:
+        on = np.array(data.series[f"{app}_ddio_on_degradation"])
+        off = np.array(data.series[f"{app}_ddio_off_degradation"])
+        yield app, on, off
+
+
+def test_fig15_write_apps_vs_p2m_write(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig15(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    for app, on, off in _series_pairs(data, ("redis_write", "gapbs_bc")):
+        # GAPBS-BC is compute-heavy (lowest memory intensity of the
+        # apps), so its degradation can be marginal at small scale.
+        assert on.max() > (1.05 if app == "redis_write" else 1.0)
+        assert off.max() > 0.95
+        assert max(data.series[f"fio_ddio_on_degradation_vs_{app}"]) < 1.15
+
+
+def test_fig16_read_apps_vs_p2m_read(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig16(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    for app, on, off in _series_pairs(data, ("redis", "gapbs")):
+        # Reads do not allocate under DDIO: on/off should coincide.
+        assert np.abs(on - off).mean() < 0.2
+        assert max(data.series[f"fio_ddio_on_degradation_vs_{app}"]) < 1.15
+
+
+def test_fig17_write_apps_vs_p2m_read(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig17(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    for app, on, off in _series_pairs(data, ("redis_write", "gapbs_bc")):
+        assert np.abs(on - off).mean() < 0.2
+        assert max(data.series[f"fio_ddio_off_degradation_vs_{app}"]) < 1.15

@@ -1,0 +1,29 @@
+"""Figure 18 (Appendix C.1): the four quadrants with RDMA traffic.
+
+Expected shape: same regime structure as Fig. 3 with slightly milder
+magnitudes (the NIC pushes ~98 Gb/s vs the SSDs' ~112 Gb/s).
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig18
+
+
+def test_fig18_rdma_quadrants(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig18(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    for q in (1, 2, 4):
+        assert max(data.series[f"q{q}_p2m_degradation"]) < 1.12
+        assert max(data.series[f"q{q}_c2m_degradation"]) > 1.15
+    # Q3: the write path inflates with load even if the NIC's lower
+    # offered rate tolerates more inflation than the SSDs' (the P2M
+    # degradation itself is milder than in Fig. 3; +-5% is noise).
+    q3_p2m = data.series["q3_p2m_degradation"]
+    assert q3_p2m[-1] >= q3_p2m[0] - 0.05

@@ -1,0 +1,28 @@
+"""Figure 19 (Appendix C.2): DCTCP receive-side colocation.
+
+Expected shape: both the memory app and the network app degrade; the
+memory app degrades more (it is more memory-intensive than the copy).
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig19
+
+
+def test_fig19_dctcp(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig19(
+            core_counts=params["dctcp_core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    for tag in ("c2mread", "c2mrw"):
+        mem = data.series[f"{tag}_memory_app_degradation"]
+        net = data.series[f"{tag}_network_app_degradation"]
+        assert max(mem) > 1.1
+        assert max(net) > 1.05
+        # The memory app degrades at least as much at low load.
+        assert mem[0] >= net[0] - 0.1

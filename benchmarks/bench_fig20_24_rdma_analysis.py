@@ -1,0 +1,55 @@
+"""Figures 20/21/22/24 (Appendix D.1): RDMA root-cause panels.
+
+Expected shape: the same per-domain structure as the SSD quadrants —
+C2M-Read latency inflates when colocated; in the write quadrants the
+WPQ/backlog grows with load; in the read quadrants spare credits
+absorb the inflation.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig20, fig21, fig22, fig24
+
+
+def _run(benchmark, builder):
+    params = scale()
+    return run_once(
+        benchmark,
+        lambda: builder(
+            core_counts=params["core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+
+
+def test_fig20_rdma_quadrant1(benchmark):
+    data = _run(benchmark, fig20)
+    publish(data)
+    with_p2m = np.array(data.series["c2m_read_latency_with_p2m"])
+    without = np.array(data.series["c2m_read_latency_without_p2m"])
+    assert (with_p2m > without).all()
+    assert max(data.series["iio_write_occupancy"]) < 90.0
+
+
+def test_fig21_rdma_quadrant2(benchmark):
+    data = _run(benchmark, fig21)
+    publish(data)
+    assert data.series["p2m_read_latency"][-1] > data.series["p2m_read_latency"][0]
+
+
+def test_fig22_rdma_quadrant3(benchmark):
+    data = _run(benchmark, fig22)
+    publish(data)
+    p2m_lat = data.series["p2m_write_latency"]
+    assert p2m_lat[-1] > 1.2 * p2m_lat[0]
+    assert data.series["n_waiting"][-1] > data.series["n_waiting"][0]
+
+
+def test_fig24_rdma_quadrant4(benchmark):
+    data = _run(benchmark, fig24)
+    publish(data)
+    with_p2m = np.array(data.series["c2m_read_latency_with_p2m"])
+    without = np.array(data.series["c2m_read_latency_without_p2m"])
+    assert (with_p2m > without).all()

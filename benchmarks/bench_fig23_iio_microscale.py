@@ -1,0 +1,28 @@
+"""Figure 23 (Appendix D.1): µs-scale IIO write-buffer occupancy under
+RDMA quadrant 3.
+
+Expected shape: PFC keeps enough data queued at the NIC that the IIO
+write buffer stays near capacity throughout the trace.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig23
+
+
+def test_fig23_iio_microscale(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig23(
+            core_counts=(params["core_counts"][-1],),
+            warmup=params["warmup_long"],
+            measure=min(params["measure"], 40_000.0),
+        ),
+    )
+    publish(data)
+    series = next(iter(data.series.values()))
+    samples = np.array(series)
+    assert samples.mean() > 50.0
+    assert samples.max() <= 92.0

@@ -1,0 +1,42 @@
+"""Figures 25/26 (Appendix D.2): DCTCP root-cause metrics.
+
+Expected shape: the memory app's C2M-Read latency inflates with load
+(slowing the copy); with the C2M-ReadWrite workload the WPQ fills more
+and the P2M-Write latency inflates further.
+"""
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig25, fig26
+
+
+def test_fig25_c2mread_tcp(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig25(
+            core_counts=params["dctcp_core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    mem_lat = data.series["c2m_read_latency_mem"]
+    if len(mem_lat) > 1:
+        assert mem_lat[-1] > mem_lat[0]
+    assert mem_lat[0] > 70.0  # inflated above the unloaded latency
+    assert max(data.series["loss_rate"]) < 0.02
+
+
+def test_fig26_c2mreadwrite_tcp(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig26(
+            core_counts=params["dctcp_core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    assert data.series["wpq_full_fraction"][-1] >= data.series["wpq_full_fraction"][0]
+    assert data.series["p2m_write_latency"][-1] > 300.0

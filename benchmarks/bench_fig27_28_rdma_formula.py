@@ -1,0 +1,48 @@
+"""Figures 27/28 (Appendix E.1): formula validation on the RDMA study.
+
+Expected shape: C2M errors bounded (~20% at simulator fidelity; the
+paper reports 6.5% on hardware); component breakdowns mirror Fig. 12.
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig27, fig28
+
+
+def test_fig27_rdma_formula_accuracy(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig27(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    # Read-stream quadrants stay within ~25% at all loads; the
+    # store-stream quadrants (3/4) share Fig. 11's high-load C2M error
+    # growth (drain blocking the formula does not model), so only the
+    # unloaded point is held tight there.
+    for q in (1, 2):
+        assert np.abs(data.series[f"q{q}_c2m_error"]).max() < 0.25
+    for q in (3, 4):
+        assert abs(data.series[f"q{q}_c2m_error"][0]) < 0.15
+    assert np.abs(data.series["q3_p2m_error"]).max() < 0.25
+
+
+def test_fig28_rdma_formula_breakdown(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig28(
+            core_counts=params["core_counts"],
+            warmup=params["warmup"],
+            measure=params["measure"],
+        ),
+    )
+    publish(data)
+    assert data.series["q1_write_hol"][0] >= data.series["q1_read_hol"][0]
+    assert max(data.series["q2_write_hol"]) < 1.0
+    assert data.series["q4_read_hol"][-1] >= data.series["q4_write_hol"][-1]

@@ -1,0 +1,44 @@
+"""Figures 29/30 (Appendix E.2): formula validation on the DCTCP study.
+
+Expected shape: memory-app and network-app C2M estimates within ~25%
+at simulator fidelity (the paper reports 10% on hardware, with one
+high-loss outlier); breakdown components non-negative with WriteHoL
+present (the NIC writes).
+"""
+
+import numpy as np
+
+from _common import publish, run_once, scale
+from repro.experiments.netfigs import fig29, fig30
+
+
+def test_fig29_dctcp_formula_accuracy(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig29(
+            core_counts=params["dctcp_core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    assert np.abs(data.series["c2mread_memory_app_error"]).max() < 0.40
+    assert np.abs(data.series["c2mread_network_c2m_error"]).max() < 0.35
+    assert np.abs(data.series["c2mread_network_p2m_error"]).max() < 0.35
+
+
+def test_fig30_dctcp_formula_breakdown(benchmark):
+    params = scale()
+    data = run_once(
+        benchmark,
+        lambda: fig30(
+            core_counts=params["dctcp_core_counts"],
+            warmup=params["warmup_long"],
+            measure=params["measure_long"],
+        ),
+    )
+    publish(data)
+    for name, series in data.series.items():
+        assert all(v >= -1e-9 for v in series), name
+    assert max(data.series["c2mread_c2m_write_hol"]) > 0.0

@@ -1,0 +1,15 @@
+"""Table 1: hardware configuration of the two simulated testbeds."""
+
+import pytest
+
+from _common import publish, run_once
+from repro.experiments.figures import table1
+
+
+def test_table1_configs(benchmark):
+    data = run_once(benchmark, table1)
+    publish(data)
+    assert data.series["cascade-lake"][3] == pytest.approx(46.9, abs=0.1)
+    assert data.series["ice-lake"][3] == pytest.approx(102.4, abs=0.5)
+    assert data.series["ice-lake"][4] == 32.0
+    assert data.series["cascade-lake"][4] == 16.0

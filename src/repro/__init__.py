@@ -1,0 +1,43 @@
+"""repro — reproduction of "Understanding the Host Network" (SIGCOMM 2024).
+
+The package provides:
+
+* a discrete-event **host-network simulator** (cores/LFB, CHA/LLC, MC
+  with DDR4 banks and read/write mode switching, IIO, PCIe devices);
+* the paper's **domain-by-domain credit-based flow control**
+  abstraction (:mod:`repro.core`);
+* the **analytical latency model** of \u00a76 (:mod:`repro.model`);
+* application models (Redis/GAPBS/FIO) and networking case studies
+  (RDMA RoCE/PFC, DCTCP);
+* an experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Host, cascade_lake, RequestKind
+
+    host = Host(cascade_lake())
+    host.add_stream_cores(2, store_fraction=0.0)   # C2M-Read on 2 cores
+    host.add_nvme(kind=RequestKind.WRITE)          # FIO-like P2M writes
+    result = host.run()
+    print(result.mem_bw_total, result.latency("c2m_read"))
+"""
+
+from repro.sim.records import CACHELINE_BYTES, Request, RequestKind, RequestSource
+from repro.topology.host import Host, RunResult
+from repro.topology.presets import HostConfig, cascade_lake, ice_lake
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "Request",
+    "RequestKind",
+    "RequestSource",
+    "Host",
+    "RunResult",
+    "HostConfig",
+    "cascade_lake",
+    "ice_lake",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Application models (§2.1, Appendix B).
+
+* :mod:`repro.apps.redis` — Redis-like in-memory KV store under
+  YCSB-C (read) and 100%-SET (write) workloads; C2M traffic with
+  per-query compute, limited memory-level parallelism, and >95% cache
+  miss ratio (1 M x 1 KB working set per core).
+* :mod:`repro.apps.gapbs` — GAPBS-like graph kernels: PageRank
+  (memory-bound random reads) and Betweenness Centrality (~80/20
+  read/write, more compute per access).
+* :mod:`repro.apps.fio` — FIO-like storage job driving the NVMe
+  substrate (P2M traffic).
+"""
+
+from repro.apps.redis import RedisWorkload, add_redis_cores
+from repro.apps.gapbs import GapbsWorkload, add_gapbs_cores
+from repro.apps.fio import FioJob, add_fio
+
+__all__ = [
+    "RedisWorkload",
+    "add_redis_cores",
+    "GapbsWorkload",
+    "add_gapbs_cores",
+    "FioJob",
+    "add_fio",
+]

@@ -1,0 +1,82 @@
+"""FIO-like storage job (§2.1).
+
+The paper's P2M application is FIO doing 8 MB sequential storage reads
+against locally-attached NVMe — minimal compute, pure DMA traffic.
+Storage reads are memory *writes* (data DMA'd into host memory);
+storage writes are memory *reads*.
+
+:func:`add_fio` attaches the job to a host and returns a
+:class:`FioJob` handle whose IOPS/bandwidth properties match FIO's
+reported metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pcie.nvme import NvmeDevice
+from repro.sim.records import CACHELINE_BYTES, RequestKind
+
+
+@dataclass
+class FioJob:
+    """Handle on a running FIO-like job."""
+
+    device: NvmeDevice
+    io_size_bytes: int
+    mode: str  # "read" (P2M writes) or "write" (P2M reads)
+
+    @property
+    def ios_completed(self) -> int:
+        """IOs finished in the current measurement window."""
+        return self.device.ios_completed
+
+    def iops(self, elapsed_ns: float) -> float:
+        """Completed IOs per second over a window."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.device.ios_completed / (elapsed_ns * 1e-9)
+
+    def bandwidth(self, elapsed_ns: float) -> float:
+        """Data rate in bytes/ns (== GB/s)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.device.lines_done * CACHELINE_BYTES / elapsed_ns
+
+
+def add_fio(
+    host,
+    mode: str = "read",
+    io_size_bytes: int = 8 << 20,
+    queue_depth: int = 8,
+    device_rate: Optional[float] = None,
+    t_io_gap: float = 0.0,
+    region_bytes: int = 4 << 30,
+    name: str = "fio",
+    traffic_class: str = "p2m",
+) -> FioJob:
+    """Attach a FIO job to a host.
+
+    Args:
+        mode: ``"read"`` — sequential storage reads (the paper's
+            default: a large P2M *write* stream); ``"write"`` —
+            sequential storage writes (P2M reads).
+        io_size_bytes: request size (the paper uses 8 MB).
+        queue_depth: in-flight IOs (1 for the §4.2 low-load probe).
+        t_io_gap: idle time between IOs (low-load probes).
+    """
+    if mode not in ("read", "write"):
+        raise ValueError("mode must be 'read' or 'write'")
+    kind = RequestKind.WRITE if mode == "read" else RequestKind.READ
+    device = host.add_nvme(
+        kind=kind,
+        io_size_bytes=io_size_bytes,
+        queue_depth=queue_depth,
+        device_rate=device_rate,
+        t_io_gap=t_io_gap,
+        region_bytes=region_bytes,
+        name=name,
+        traffic_class=traffic_class,
+    )
+    return FioJob(device=device, io_size_bytes=io_size_bytes, mode=mode)

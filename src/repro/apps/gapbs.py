@@ -1,0 +1,115 @@
+"""GAPBS-like graph-processing model (§2.1, Appendix B).
+
+The paper runs the GAP Benchmark Suite on a random graph of 2^25
+nodes, degree 16 (~5 GB footprint, far beyond the LLC), shared across
+all worker cores:
+
+* **PageRank (PR)** — the §2.1 workload: random reads of neighbour
+  rank values, nearly always stalled on memory, negligible compute.
+  Its slowdown tracks C2M-Read domain latency inflation almost 1:1
+  (1.28-1.98x in Fig. 1b).
+* **Betweenness Centrality (BC)** — the Appendix B write-heavy
+  workload: ~80% read / 20% write traffic, more compute per access
+  and lower per-core memory intensity.
+
+Performance is execution time; over a fixed measurement window the
+slowdown equals the inverse ratio of edges processed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cpu.workloads import MemoryWorkload
+from repro.dram.region import Region
+from repro.sim.records import CACHELINE_BYTES
+
+
+class GapbsWorkload(MemoryWorkload):
+    """One GAPBS worker core traversing a shared graph.
+
+    Args:
+        region: the shared graph arrays (rank/score vectors).
+        algorithm: ``"pr"`` or ``"bc"``.
+        mlp: outstanding irregular accesses (PR's gather loop exposes
+            near-LFB parallelism; BC's dependency structure exposes less).
+        compute_ns_per_edge: non-memory work per processed edge.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        algorithm: str = "pr",
+        mlp: Optional[int] = None,
+        compute_ns_per_edge: Optional[float] = None,
+        seed: int = 0,
+        traffic_class: str = "c2m",
+    ):
+        super().__init__(traffic_class)
+        if algorithm not in ("pr", "bc"):
+            raise ValueError("algorithm must be 'pr' or 'bc'")
+        self.region = region
+        self.algorithm = algorithm
+        if algorithm == "pr":
+            self.mlp = mlp if mlp is not None else 12
+            self.store_fraction = 0.0
+            self.compute_ns_per_edge = (
+                compute_ns_per_edge if compute_ns_per_edge is not None else 0.0
+            )
+        else:  # bc
+            self.mlp = mlp if mlp is not None else 6
+            self.store_fraction = 0.4  # 40% stores -> ~80/20 read/write lines
+            self.compute_ns_per_edge = (
+                compute_ns_per_edge if compute_ns_per_edge is not None else 18.0
+            )
+        self._rng = random.Random(seed)
+        self._outstanding = 0
+        self._compute_until = 0.0
+        self.edges_processed = 0
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        if now < self._compute_until or self._outstanding >= self.mlp:
+            return None
+        self._outstanding += 1
+        addr = self.region.line(self._rng.randrange(self.region.n_lines))
+        is_store = self._rng.random() < self.store_fraction
+        return addr, is_store
+
+    def wake_time(self, now: float) -> Optional[float]:
+        if now < self._compute_until:
+            return self._compute_until
+        return None
+
+    def on_complete(self, now: float, was_store: bool = False) -> None:
+        super().on_complete(now, was_store)
+        self._outstanding -= 1
+        self.edges_processed += 1
+        if self.compute_ns_per_edge > 0:
+            self._compute_until = max(self._compute_until, now) + self.compute_ns_per_edge
+
+    def reset_stats(self, now: float) -> None:
+        super().reset_stats(now)
+        self.edges_processed = 0
+
+
+def add_gapbs_cores(
+    host,
+    n_cores: int,
+    algorithm: str = "pr",
+    graph_bytes: int = 5 << 30,
+    traffic_class: str = "c2m",
+) -> List[GapbsWorkload]:
+    """Attach GAPBS worker cores sharing one graph instance."""
+    region = host.alloc_region(graph_bytes // CACHELINE_BYTES)
+    workloads = []
+    for i in range(n_cores):
+        workload = GapbsWorkload(
+            region,
+            algorithm=algorithm,
+            seed=2000 + i,
+            traffic_class=traffic_class,
+        )
+        host.add_core(workload, name=f"gapbs-{algorithm}")
+        workloads.append(workload)
+    return workloads

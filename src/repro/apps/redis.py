@@ -1,0 +1,138 @@
+"""Redis-like in-memory key-value store model (§2.1).
+
+The paper deploys sharded Redis: one server instance per core, clients
+on separate cores, YCSB-C (100% GET, uniform random) over 1 M keys of
+1 KB per server core — the working set far exceeds the LLC, so >95%
+of value accesses miss all caches.
+
+The model captures what determines Redis's sensitivity to host-network
+contention: each query touches ``lines_per_query`` random cachelines
+(a 1 KB value is 16 lines) with bounded memory-level parallelism,
+plus a fixed compute cost (parsing, hashing, socket work). Queries
+per second then degrade exactly as much as the memory phase's share of
+query time times the C2M-Read latency inflation — the paper's
+1.25-1.32x for its colocation experiments.
+
+``RedisWorkload(query_mix="set")`` models the 100%-SET Redis-Write
+variant of Appendix B (values are written: RFO + writeback, ~50/50
+read/write traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cpu.workloads import MemoryWorkload
+from repro.dram.region import Region
+from repro.sim.records import CACHELINE_BYTES
+
+
+class RedisWorkload(MemoryWorkload):
+    """One Redis server core serving queries over a private keyspace.
+
+    Args:
+        region: keyspace backing store (1 M x 1 KB per core by default
+            via :func:`add_redis_cores`).
+        lines_per_query: cachelines touched per value (1 KB -> 16).
+        mlp: memory-level parallelism of value accesses (dependent
+            lookups limit this well below the LFB size).
+        compute_ns: non-memory work per query (command parsing,
+            hashing, IPC with the client core).
+        query_mix: ``"get"`` (YCSB-C) or ``"set"`` (Redis-Write).
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        lines_per_query: int = 16,
+        mlp: int = 4,
+        compute_ns: float = 420.0,
+        query_mix: str = "get",
+        seed: int = 0,
+        traffic_class: str = "c2m",
+    ):
+        super().__init__(traffic_class)
+        if lines_per_query <= 0 or mlp <= 0:
+            raise ValueError("lines_per_query and mlp must be positive")
+        if query_mix not in ("get", "set"):
+            raise ValueError("query_mix must be 'get' or 'set'")
+        self.region = region
+        self.lines_per_query = lines_per_query
+        self.mlp = mlp
+        self.compute_ns = compute_ns
+        self.query_mix = query_mix
+        self._rng = random.Random(seed)
+        self._outstanding = 0
+        self._left_to_issue = 0
+        self._compute_until = 0.0
+        self._value_start = 0
+        self.queries_completed = 0
+
+    def _begin_query(self, now: float) -> None:
+        self._left_to_issue = self.lines_per_query
+        # A value occupies consecutive lines at a random key position.
+        max_start = max(1, self.region.n_lines - self.lines_per_query)
+        self._value_start = self._rng.randrange(max_start)
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        if now < self._compute_until:
+            return None
+        if self._left_to_issue == 0 and self._outstanding == 0:
+            self._begin_query(now)
+        if self._left_to_issue == 0 or self._outstanding >= self.mlp:
+            return None
+        offset = self._value_start + (self.lines_per_query - self._left_to_issue)
+        self._left_to_issue -= 1
+        self._outstanding += 1
+        is_store = self.query_mix == "set"
+        return self.region.line(offset), is_store
+
+    def wake_time(self, now: float) -> Optional[float]:
+        if now < self._compute_until:
+            return self._compute_until
+        return None  # woken by access completion
+
+    def on_complete(self, now: float, was_store: bool = False) -> None:
+        super().on_complete(now, was_store)
+        self._outstanding -= 1
+        if self._outstanding == 0 and self._left_to_issue == 0:
+            self.queries_completed += 1
+            self._compute_until = now + self.compute_ns
+
+    def reset_stats(self, now: float) -> None:
+        super().reset_stats(now)
+        self.queries_completed = 0
+
+
+def add_redis_cores(
+    host,
+    n_cores: int,
+    query_mix: str = "get",
+    value_bytes: int = 1024,
+    keys_per_core: int = 1_000_000,
+    mlp: int = 4,
+    compute_ns: float = 420.0,
+    traffic_class: str = "c2m",
+) -> List[RedisWorkload]:
+    """Attach ``n_cores`` sharded Redis server cores to a host.
+
+    Returns the workloads; queries/sec comes from summing
+    ``queries_completed`` over a measurement window.
+    """
+    lines_per_query = max(1, value_bytes // CACHELINE_BYTES)
+    region_lines = keys_per_core * lines_per_query
+    workloads = []
+    for i in range(n_cores):
+        workload = RedisWorkload(
+            host.alloc_region(region_lines),
+            lines_per_query=lines_per_query,
+            mlp=mlp,
+            compute_ns=compute_ns,
+            query_mix=query_mix,
+            seed=1000 + i,
+            traffic_class=traffic_class,
+        )
+        host.add_core(workload, name=f"redis-{query_mix}")
+        workloads.append(workload)
+    return workloads

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: domain-by-domain credit-based
+flow control (§4).
+
+The host network is decomposed into *domains* — sub-networks each
+governed by an independent credit-based flow-control loop. A sender
+consumes a credit per request and the credit is replenished when the
+domain's receiver acknowledges it. Per-domain throughput is bounded by
+
+    T <= C x 64 / L
+
+with ``C`` the domain credits (cachelines), 64 the cacheline size and
+``L`` the (load-dependent) domain latency. The end-to-end throughput
+of a datapath is the minimum over its domains.
+"""
+
+from repro.core.domain import Domain, DomainKind, throughput_bound
+from repro.core.datapath import (
+    C2M_READ,
+    C2M_READWRITE,
+    C2M_WRITE,
+    P2M_READ,
+    P2M_WRITE,
+    Datapath,
+    datapath_for,
+)
+from repro.core.bottleneck import BottleneckReport, analyze_bottleneck
+from repro.core.regimes import Regime, RegimePoint, classify_regime
+
+__all__ = [
+    "Domain",
+    "DomainKind",
+    "throughput_bound",
+    "Datapath",
+    "datapath_for",
+    "C2M_READ",
+    "C2M_WRITE",
+    "C2M_READWRITE",
+    "P2M_READ",
+    "P2M_WRITE",
+    "BottleneckReport",
+    "analyze_bottleneck",
+    "Regime",
+    "RegimePoint",
+    "classify_regime",
+]

@@ -1,0 +1,93 @@
+"""Datapaths: which domains a transfer traverses (§4.1, Fig. 5).
+
+Each data transfer, depending on its source (compute or peripheral)
+and type (read or write), traverses a specific set of domains; its
+end-to-end throughput is the minimum bound across them. A workload
+like C2M-ReadWrite traverses both C2M domains in sequence, which is
+why its LFB latency is the *sum* of the two domain latencies (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.domain import Domain, DomainKind
+from repro.sim.records import RequestKind, RequestSource
+
+
+@dataclass(frozen=True)
+class Datapath:
+    """An ordered traversal of domains for one transfer type.
+
+    ``serial`` marks whether the sender's credit is held across all
+    listed domains in sequence (C2M-ReadWrite: the LFB entry spans the
+    read and the write handoff) rather than the domains operating
+    independently.
+    """
+
+    name: str
+    domains: Tuple[DomainKind, ...]
+    serial: bool = False
+
+    def bound(self, characteristics: Dict[DomainKind, Domain]) -> float:
+        """End-to-end throughput bound given per-domain characteristics.
+
+        For parallel (independent) domains this is the min of the
+        per-domain bounds; for serial credit-sharing domains the
+        latencies add under the shared credit pool.
+        """
+        missing = [k for k in self.domains if k not in characteristics]
+        if missing:
+            raise KeyError(f"missing domain characteristics: {missing}")
+        if not self.serial:
+            return min(characteristics[k].max_throughput for k in self.domains)
+        credits = min(characteristics[k].credits for k in self.domains)
+        total_latency = sum(characteristics[k].latency for k in self.domains)
+        first = characteristics[self.domains[0]]
+        shared = Domain(
+            kind=first.kind,
+            credits=credits,
+            unloaded_latency_ns=total_latency,
+        )
+        return shared.max_throughput
+
+    def total_latency(self, characteristics: Dict[DomainKind, Domain]) -> float:
+        """Sum of the traversed domains' latencies."""
+        return sum(characteristics[k].latency for k in self.domains)
+
+
+#: The canonical datapaths of Fig. 5.
+C2M_READ = Datapath("c2m-read", (DomainKind.C2M_READ,))
+C2M_WRITE = Datapath("c2m-write", (DomainKind.C2M_WRITE,))
+#: Stores: RFO read then writeback handoff under one LFB entry (§4.2).
+C2M_READWRITE = Datapath(
+    "c2m-readwrite", (DomainKind.C2M_READ, DomainKind.C2M_WRITE), serial=True
+)
+P2M_READ = Datapath("p2m-read", (DomainKind.P2M_READ,))
+P2M_WRITE = Datapath("p2m-write", (DomainKind.P2M_WRITE,))
+
+
+def datapath_for(
+    source: RequestSource, kind: RequestKind, store_stream: bool = False
+) -> Datapath:
+    """Datapath for a transfer of the given source and memory-level type.
+
+    ``store_stream`` selects the serial C2M-ReadWrite path for store
+    workloads (each store is an RFO read plus a writeback).
+    """
+    if source is RequestSource.C2M:
+        if store_stream:
+            return C2M_READWRITE
+        return C2M_READ if kind is RequestKind.READ else C2M_WRITE
+    return P2M_READ if kind is RequestKind.READ else P2M_WRITE
+
+
+def domains_of(paths: Sequence[Datapath]) -> Tuple[DomainKind, ...]:
+    """Unique domains traversed by a set of datapaths, in first-seen order."""
+    seen = []
+    for path in paths:
+        for kind in path.domains:
+            if kind not in seen:
+                seen.append(kind)
+    return tuple(seen)

@@ -1,0 +1,150 @@
+"""Domains and their credit/latency/throughput algebra (§4.1).
+
+The four bottleneck domains of Fig. 5:
+
+========== ============== ============================ ================
+Domain     Span           Credit pool                  Credit freed at
+========== ============== ============================ ================
+C2M-Read   LFB -> DRAM    LFB (10-12 / core)           data at core
+C2M-Write  LFB -> CHA     LFB (10-12 / core)           CHA admission
+P2M-Read   IIO -> DRAM    IIO read buffer (>164)       completion issue
+P2M-Write  IIO -> MC      IIO write buffer (~92)       WPQ admission
+========== ============== ============================ ================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.records import CACHELINE_BYTES
+
+
+class DomainKind(enum.Enum):
+    """The four bottleneck domains of the host network (Fig. 5)."""
+
+    C2M_READ = "c2m_read"
+    C2M_WRITE = "c2m_write"
+    P2M_READ = "p2m_read"
+    P2M_WRITE = "p2m_write"
+
+    @property
+    def includes_dram(self) -> bool:
+        """Whether DRAM execution is inside the domain.
+
+        Domains that include DRAM (reads) see queueing at the MC as
+        domain-latency inflation; write domains end at the CHA (C2M)
+        or the WPQ (P2M) and only inflate on backpressure (§5).
+        """
+        return self in (DomainKind.C2M_READ, DomainKind.P2M_READ)
+
+    @property
+    def includes_mc(self) -> bool:
+        """Whether WPQ admission is inside the domain (P2M-Write is the
+        asymmetric case the red regime turns on, §5.2)."""
+        return self is not DomainKind.C2M_WRITE
+
+
+def throughput_bound(credits: float, latency_ns: float) -> float:
+    """The paper's bound ``T <= C * 64 / L`` in bytes/ns (== GB/s).
+
+    Args:
+        credits: domain credits available to the sender, in cachelines.
+        latency_ns: average domain latency.
+    """
+    if credits < 0:
+        raise ValueError("credits must be non-negative")
+    if latency_ns <= 0:
+        raise ValueError("latency must be positive")
+    return credits * CACHELINE_BYTES / latency_ns
+
+
+def credits_needed(target_bytes_per_ns: float, latency_ns: float) -> float:
+    """Credits required to sustain a target throughput at a latency.
+
+    Inverts the bound; the paper uses this to show the P2M-Write
+    domain has spare credits (~65 needed for ~14 GB/s at ~300 ns
+    against ~92 available, §5.1).
+    """
+    if target_bytes_per_ns < 0:
+        raise ValueError("target must be non-negative")
+    if latency_ns <= 0:
+        raise ValueError("latency must be positive")
+    return target_bytes_per_ns * latency_ns / CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One credit-flow-controlled domain with measured characteristics.
+
+    Attributes:
+        kind: which of the four bottleneck domains this is.
+        credits: credit-pool size in cachelines (per sender).
+        unloaded_latency_ns: latency with no contention.
+        loaded_latency_ns: measured latency under the workload of
+            interest (defaults to the unloaded latency).
+        credits_in_use: average credits held (occupancy); ``None`` if
+            not measured.
+    """
+
+    kind: DomainKind
+    credits: float
+    unloaded_latency_ns: float
+    loaded_latency_ns: Optional[float] = None
+    credits_in_use: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.credits <= 0:
+            raise ValueError("credits must be positive")
+        if self.unloaded_latency_ns <= 0:
+            raise ValueError("unloaded latency must be positive")
+
+    @property
+    def latency(self) -> float:
+        """The effective (loaded if measured, else unloaded) latency."""
+        if self.loaded_latency_ns is not None:
+            return self.loaded_latency_ns
+        return self.unloaded_latency_ns
+
+    @property
+    def latency_inflation(self) -> float:
+        """Loaded / unloaded latency ratio."""
+        return self.latency / self.unloaded_latency_ns
+
+    @property
+    def max_throughput(self) -> float:
+        """T <= C * 64 / L under the current (loaded) latency."""
+        return throughput_bound(self.credits, self.latency)
+
+    @property
+    def unloaded_throughput(self) -> float:
+        """The bound at the unloaded latency."""
+        return throughput_bound(self.credits, self.unloaded_latency_ns)
+
+    @property
+    def credits_saturated(self) -> bool:
+        """True when the sender holds (nearly) all credits — the
+        precondition for latency inflation to become throughput loss
+        (§5.1: "any non-zero increase in domain latency will result in
+        throughput degradation")."""
+        if self.credits_in_use is None:
+            return False
+        return self.credits_in_use >= 0.95 * self.credits
+
+    def spare_credits(self) -> Optional[float]:
+        """Credits not in use, or None if occupancy was not measured."""
+        if self.credits_in_use is None:
+            return None
+        return max(0.0, self.credits - self.credits_in_use)
+
+    def tolerable_latency(self, demand_bytes_per_ns: float) -> float:
+        """Largest domain latency at which ``demand`` is still met.
+
+        The paper's spare-credit argument: a domain with demand below
+        its bound tolerates inflation up to ``C*64/demand`` before any
+        throughput degrades (§5.1).
+        """
+        if demand_bytes_per_ns <= 0:
+            return float("inf")
+        return self.credits * CACHELINE_BYTES / demand_bytes_per_ns

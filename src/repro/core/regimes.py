@@ -1,0 +1,77 @@
+"""Blue/red regime classification (§2.2).
+
+* **Blue regime** — C2M throughput degrades while P2M throughput does
+  not, even though memory bandwidth is far from saturated.
+* **Red regime** — memory bandwidth saturates; both C2M and P2M
+  degrade, with C2M antagonizing P2M (P2M's degradation exceeding or
+  catching up to C2M's).
+
+The classifier takes the measured degradation ratios (isolated /
+colocated throughput, so 1.0 means unaffected) plus memory-bandwidth
+utilization and reproduces the paper's quadrant shading of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Regime(enum.Enum):
+    """The contention regimes of §2.2 (plus neutral for no effect)."""
+
+    NEUTRAL = "neutral"  # neither side meaningfully degraded
+    BLUE = "blue"
+    RED = "red"
+
+
+#: degradation below this is treated as measurement noise
+_DEGRADED = 1.10
+#: memory-bandwidth utilization above this counts as saturated;
+#: DDR efficiency under mixed read/write traffic tops out well below
+#: the theoretical peak, so "saturated" is relative to that ceiling.
+_SATURATED_UTIL = 0.75
+
+
+@dataclass(frozen=True)
+class RegimePoint:
+    """One colocation data point.
+
+    Attributes:
+        c2m_degradation: isolated/colocated C2M throughput (>= 1).
+        p2m_degradation: isolated/colocated P2M throughput (>= 1).
+        mem_bw_utilization: achieved / theoretical memory bandwidth.
+    """
+
+    c2m_degradation: float
+    p2m_degradation: float
+    mem_bw_utilization: float
+
+    def __post_init__(self) -> None:
+        if self.c2m_degradation <= 0 or self.p2m_degradation <= 0:
+            raise ValueError("degradation ratios must be positive")
+        if not 0 <= self.mem_bw_utilization <= 1.5:
+            raise ValueError("utilization out of plausible range")
+
+
+def classify_regime(
+    point: RegimePoint,
+    degraded_threshold: float = _DEGRADED,
+    saturated_util: float = _SATURATED_UTIL,
+) -> Regime:
+    """Classify a colocation point into the paper's regimes.
+
+    Red requires P2M degradation (the defining symptom reported by the
+    production studies [1, 42]); blue requires C2M degradation with
+    P2M essentially unaffected. Points where neither app degrades are
+    neutral (e.g. very low load).
+    """
+    c2m_degraded = point.c2m_degradation >= degraded_threshold
+    p2m_degraded = point.p2m_degradation >= degraded_threshold
+    if p2m_degraded and point.mem_bw_utilization >= saturated_util * 0.9:
+        return Regime.RED
+    if p2m_degraded and c2m_degraded:
+        return Regime.RED
+    if c2m_degraded:
+        return Regime.BLUE
+    return Regime.NEUTRAL

@@ -1,0 +1,29 @@
+"""Compute substrate: cores, Line Fill Buffers, and C2M workloads.
+
+The Line Fill Buffer (LFB) is the credit pool of both C2M domains
+(§4.1): 10–12 entries per core on the paper's servers, fully utilized
+by memory-intensive workloads because cores issue instructions two
+orders of magnitude faster than the C2M-Read domain latency (§5.1) —
+so any domain-latency inflation translates directly into C2M
+throughput degradation.
+"""
+
+from repro.cpu.lfb import LineFillBuffer
+from repro.cpu.core import Core
+from repro.cpu.workloads import (
+    MemoryWorkload,
+    RandomAccessWorkload,
+    SequentialStreamWorkload,
+    c2m_read,
+    c2m_read_write,
+)
+
+__all__ = [
+    "LineFillBuffer",
+    "Core",
+    "MemoryWorkload",
+    "RandomAccessWorkload",
+    "SequentialStreamWorkload",
+    "c2m_read",
+    "c2m_read_write",
+]

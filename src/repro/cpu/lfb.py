@@ -1,0 +1,47 @@
+"""Line Fill Buffer: the per-core credit pool of the C2M domains.
+
+An LFB entry is allocated on an L1 miss and freed when the miss is
+fully resolved — for loads, when data returns from DRAM (C2M-Read
+domain, LFB→DRAM); for stores, additionally when the writeback is
+handed to the CHA (C2M-Write domain, LFB→CHA). The entry is held for
+the whole round trip to prevent duplicate requests to the same line
+(§4.2, refs. [30, 67]).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.counters import OccupancyCounter
+
+
+class LineFillBuffer:
+    """Credit pool with occupancy telemetry."""
+
+    def __init__(self, occupancy: OccupancyCounter, size: int):
+        if size <= 0:
+            raise ValueError("LFB size must be positive")
+        self.size = size
+        self._occ = occupancy
+
+    @property
+    def in_use(self) -> int:
+        """Entries currently held (credits consumed)."""
+        return self._occ.value
+
+    @property
+    def has_free_entry(self) -> bool:
+        """Whether a new miss can allocate an entry."""
+        return self._occ.value < self.size
+
+    def alloc(self, now: float) -> None:
+        """Consume one credit (entry allocated on an L1 miss)."""
+        if not self.has_free_entry:
+            raise RuntimeError("LFB allocation without a free entry")
+        self._occ.update(now, +1)
+
+    def free(self, now: float) -> None:
+        """Replenish one credit (the miss fully resolved)."""
+        self._occ.update(now, -1)
+
+    def average_occupancy(self, now: float) -> float:
+        """Time-averaged entries in use over the current window."""
+        return self._occ.average(now)

@@ -1,0 +1,147 @@
+"""C2M workload generators (§2.2).
+
+The paper generates C2M traffic with a modified STREAM benchmark:
+
+* *C2M-Read* — sequential 64 B loads over a 1 GB buffer → 100% memory
+  reads;
+* *C2M-ReadWrite* — sequential 64 B stores → 50% reads + 50% writes,
+  because every store first fetches the line (read-for-ownership) and
+  the dirty line is later written back.
+
+Workloads expose a small protocol the :class:`repro.cpu.core.Core`
+drives:
+
+* ``try_next(now)`` → ``(line_addr, op)`` or ``None`` when the
+  workload is think-gated or self-limits its parallelism. ``op`` is
+  ``OP_LOAD`` (0/False), ``OP_STORE`` (1/True: RFO read + writeback),
+  or ``OP_NT_STORE`` (2: non-temporal/fast-string store that skips the
+  RFO and goes straight to the write path);
+* ``wake_time(now)`` → absolute time to retry after a ``None``;
+* ``on_issue(now)`` / ``on_complete(now)`` — bookkeeping hooks;
+* ``ops_completed`` — completed memory operations (throughput metric).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.dram.region import Region
+
+
+#: operation codes returned by ``try_next`` (OP_LOAD/OP_STORE are
+#: bool-compatible so simple workloads can return True/False).
+OP_LOAD = 0
+OP_STORE = 1
+OP_NT_STORE = 2
+
+
+class MemoryWorkload:
+    """Base class implementing the bookkeeping common to all workloads."""
+
+    def __init__(self, traffic_class: str = "c2m"):
+        self.traffic_class = traffic_class
+        self.ops_completed = 0
+        self.ops_issued = 0
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        """Next operation as ``(line_addr, op)``, or None when gated.
+
+        ``op`` is OP_LOAD / OP_STORE / OP_NT_STORE (plain bools work
+        for the first two).
+        """
+        raise NotImplementedError
+
+    def wake_time(self, now: float) -> Optional[float]:
+        """Absolute retry time after ``try_next`` returned None."""
+        return None
+
+    def on_issue(self, now: float) -> None:
+        """The core issued one operation."""
+        self.ops_issued += 1
+
+    def on_complete(self, now: float, was_store: bool = False) -> None:
+        """One operation fully resolved (store: writeback handed off)."""
+        self.ops_completed += 1
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window."""
+        self.ops_completed = 0
+        self.ops_issued = 0
+
+
+class SequentialStreamWorkload(MemoryWorkload):
+    """STREAM-style sequential walk over a private buffer.
+
+    ``store_fraction`` selects the instruction mix: 0.0 is C2M-Read,
+    1.0 is C2M-ReadWrite, intermediate values interleave
+    deterministically (every ``1/store_fraction``-th op is a store) so
+    traffic ratios are exact rather than sampled.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        store_fraction: float = 0.0,
+        traffic_class: str = "c2m",
+    ):
+        super().__init__(traffic_class)
+        if not 0.0 <= store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        self.region = region
+        self.store_fraction = store_fraction
+        self._pos = 0
+        self._store_accum = 0.0
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        addr = self.region.line(self._pos)
+        self._pos += 1
+        if self._pos >= self.region.n_lines:
+            self._pos = 0
+        self._store_accum += self.store_fraction
+        is_store = False
+        if self._store_accum >= 1.0:
+            self._store_accum -= 1.0
+            is_store = True
+        return addr, is_store
+
+
+class RandomAccessWorkload(MemoryWorkload):
+    """Uniform-random accesses over a private buffer (GAPBS-style)."""
+
+    def __init__(
+        self,
+        region: Region,
+        store_fraction: float = 0.0,
+        seed: int = 0,
+        traffic_class: str = "c2m",
+    ):
+        super().__init__(traffic_class)
+        self.region = region
+        self.store_fraction = store_fraction
+        self._rng = random.Random(seed)
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        addr = self.region.line(self._rng.randrange(self.region.n_lines))
+        is_store = self._rng.random() < self.store_fraction
+        return addr, is_store
+
+
+#: 1 GB buffer in cachelines, the paper's STREAM buffer size.
+GIB_LINES = (1 << 30) // 64
+
+
+def c2m_read(region: Region, traffic_class: str = "c2m") -> SequentialStreamWorkload:
+    """The paper's C2M-Read workload: sequential loads over 1 GB."""
+    return SequentialStreamWorkload(
+        region, store_fraction=0.0, traffic_class=traffic_class
+    )
+
+
+def c2m_read_write(
+    region: Region, traffic_class: str = "c2m"
+) -> SequentialStreamWorkload:
+    """The paper's C2M-ReadWrite workload: sequential stores over 1 GB."""
+    return SequentialStreamWorkload(
+        region, store_fraction=1.0, traffic_class=traffic_class
+    )

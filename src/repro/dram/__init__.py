@@ -1,0 +1,27 @@
+"""The memory interconnect substrate: DDR4 timing, banks, channels,
+and the memory controller with its Read/Write Pending Queues.
+
+This models exactly the DRAM behaviour the paper's analysis depends on
+(§3 "DRAM operation" and §5):
+
+* each memory channel transmits in one direction at a time, with a
+  switching delay between read and write modes;
+* data lives in banks with single-row row buffers; a row miss incurs
+  ACT (and PRE on conflict) processing at the bank;
+* the MC keeps separate RPQ/WPQ per channel and applies backpressure
+  to the CHA when the WPQ fills.
+"""
+
+from repro.dram.timing import DramTiming, ddr4_timing
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.controller import Channel, MemoryController
+
+__all__ = [
+    "DramTiming",
+    "ddr4_timing",
+    "AddressMapper",
+    "Bank",
+    "Channel",
+    "MemoryController",
+]

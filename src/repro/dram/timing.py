@@ -1,0 +1,80 @@
+"""DDR4 timing parameters.
+
+The analytical model (§6, Figs. 9/10) uses four timing constants:
+
+* ``t_trans`` — time to transmit one cacheline over the channel in
+  either direction (burst of 8 beats at the data rate);
+* ``t_act``  — row activation delay (JEDEC tRCD);
+* ``t_pre``  — precharge delay on a row conflict (JEDEC tRP);
+* ``t_wtr`` / ``t_rtw`` — write-to-read / read-to-write channel
+  turnaround ("switching") delays.
+
+The paper quotes, for its DDR4-2933 modules, a per-request bank
+processing delay of t_proc ~= 45 ns and a transmission delay of
+t_trans = 2.73 ns; ``ddr4_timing`` reproduces both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.records import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing constants for one DRAM channel (all in nanoseconds)."""
+
+    t_trans: float  # cacheline transmission on the channel
+    t_act: float  # ACT (tRCD): load row into the row buffer
+    t_pre: float  # PRE (tRP): flush row buffer on conflict
+    t_cas: float  # first-access column latency after an ACT
+    t_wtr: float  # write-to-read turnaround
+    t_rtw: float  # read-to-write turnaround
+
+    @property
+    def t_proc(self) -> float:
+        """Per-request bank processing delay on a row conflict.
+
+        This is the paper's ``t_Proc``: PRE + ACT + first-access CAS,
+        roughly 45 ns for DDR4-2933.
+        """
+        return self.t_pre + self.t_act + self.t_cas
+
+    @property
+    def channel_bandwidth_bytes_per_ns(self) -> float:
+        """Peak one-direction bandwidth of the channel (B/ns == GB/s)."""
+        return CACHELINE_BYTES / self.t_trans
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on non-physical (non-positive) timings."""
+        for name in ("t_trans", "t_act", "t_pre", "t_cas", "t_wtr", "t_rtw"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+def ddr4_timing(speed_mt_s: int) -> DramTiming:
+    """Timing for a DDR4 channel at the given transfer rate (MT/s).
+
+    Derivation: a 64 B cacheline is an 8-beat burst on an 8 B bus, so
+    ``t_trans = 64 / (speed_mt_s * 8 bytes)``; tRCD = tRP ~= 14.2 ns
+    for mainstream DDR4 bins (e.g. 2933 CL21: 21 * 0.682 ns); CAS is
+    the same bin. Turnarounds bundle tWTR_L/tRTW plus bus turnaround.
+    """
+    if speed_mt_s <= 0:
+        raise ValueError("speed_mt_s must be positive")
+    bytes_per_ns = speed_mt_s * 8 / 1000.0  # MT/s * 8B / 1e3 = B/ns
+    t_trans = CACHELINE_BYTES / bytes_per_ns
+    return DramTiming(
+        t_trans=t_trans,
+        t_act=14.3,
+        t_pre=14.3,
+        t_cas=14.3,
+        t_wtr=15.0,
+        t_rtw=8.0,
+    )
+
+
+#: Common presets used by the paper's two testbeds (Table 1).
+DDR4_2933 = ddr4_timing(2933)
+DDR4_3200 = ddr4_timing(3200)

@@ -1,0 +1,26 @@
+"""Experiment harness: isolated/colocated runs, the four quadrants,
+and per-figure series builders for every table and figure in the paper.
+"""
+
+from repro.experiments.runner import (
+    ColocationExperiment,
+    ColocationPoint,
+    c2m_bandwidth_metric,
+    device_bandwidth_metric,
+    workload_ops_metric,
+)
+from repro.experiments.quadrants import QUADRANTS, QuadrantSpec, run_quadrant
+from repro.experiments.reporting import render_series, render_table
+
+__all__ = [
+    "ColocationExperiment",
+    "ColocationPoint",
+    "c2m_bandwidth_metric",
+    "device_bandwidth_metric",
+    "workload_ops_metric",
+    "QUADRANTS",
+    "QuadrantSpec",
+    "run_quadrant",
+    "render_series",
+    "render_table",
+]

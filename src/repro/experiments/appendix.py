@@ -1,0 +1,123 @@
+"""Appendix A/B figure builders (Figs. 13-17).
+
+* Figs. 13/14 — root-cause measurements for quadrants 2 and 4 (the
+  P2M-Read quadrants): same metric panels as Fig. 7 plus the in-flight
+  P2M read count, which stays well below the read-domain credit limit
+  (spare credits mask latency inflation).
+* Figs. 15-17 — real applications across all C2M/P2M read/write
+  combinations (Redis-Write = 100% SET, GAPBS-BC) with DDIO on/off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.figures import FigureData, _app_experiment, _quadrant_root_cause
+from repro.topology.presets import HostConfig, cascade_lake
+
+
+def fig13(
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Fig. 13: understanding quadrant 2 (C2M-Read + P2M-Read)."""
+    return _quadrant_root_cause("fig13", 2, core_counts, config, warmup, measure)
+
+
+def fig14(
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Fig. 14: understanding quadrant 4 (C2M-ReadWrite + P2M-Read)."""
+    return _quadrant_root_cause("fig14", 4, core_counts, config, warmup, measure)
+
+
+def _apps_vs_p2m(
+    figure_id: str,
+    title: str,
+    apps: Sequence[str],
+    fio_mode: str,
+    core_counts: Sequence[int],
+    warmup: float,
+    measure: float,
+) -> FigureData:
+    """Fig. 15-17 shared builder: apps x DDIO against one P2M direction."""
+    data = FigureData(figure_id, title, "c2m_cores", list(core_counts))
+    for ddio in (True, False):
+        tag = "ddio_on" if ddio else "ddio_off"
+        config = cascade_lake(llc_mode="full", ddio_enabled=ddio)
+        for app in apps:
+            experiment = _app_experiment(config, app, fio_mode=fio_mode)
+            points = experiment.sweep(core_counts, warmup, measure)
+            data.add(
+                f"{app}_{tag}_degradation", [p.c2m_degradation for p in points]
+            )
+            data.add(
+                f"fio_{tag}_degradation_vs_{app}",
+                [p.p2m_degradation for p in points],
+            )
+    return data
+
+
+def fig15(
+    core_counts: Sequence[int] = (1, 2, 4, 6),
+    warmup: float = 15_000.0,
+    measure: float = 40_000.0,
+) -> FigureData:
+    """Fig. 15: Redis-Write and GAPBS-BC colocated with P2M write."""
+    data = _apps_vs_p2m(
+        "fig15",
+        "Figure 15: write-heavy C2M apps vs P2M write (DDIO on/off)",
+        ("redis_write", "gapbs_bc"),
+        "read",  # storage reads = P2M writes
+        core_counts,
+        warmup,
+        measure,
+    )
+    data.notes = "DDIO-on should show equal or worse C2M degradation."
+    return data
+
+
+def fig16(
+    core_counts: Sequence[int] = (1, 2, 4, 6),
+    warmup: float = 15_000.0,
+    measure: float = 40_000.0,
+) -> FigureData:
+    """Fig. 16: Redis-Read and GAPBS-PR colocated with P2M read."""
+    data = _apps_vs_p2m(
+        "fig16",
+        "Figure 16: read-heavy C2M apps vs P2M read (DDIO on/off)",
+        ("redis", "gapbs"),
+        "write",  # storage writes = P2M reads
+        core_counts,
+        warmup,
+        measure,
+    )
+    data.notes = (
+        "With P2M reads, DDIO does not allocate (reads do not install "
+        "DMA lines), so on/off curves should coincide."
+    )
+    return data
+
+
+def fig17(
+    core_counts: Sequence[int] = (1, 2, 4, 6),
+    warmup: float = 15_000.0,
+    measure: float = 40_000.0,
+) -> FigureData:
+    """Fig. 17: Redis-Write and GAPBS-BC colocated with P2M read."""
+    data = _apps_vs_p2m(
+        "fig17",
+        "Figure 17: write-heavy C2M apps vs P2M read (DDIO on/off)",
+        ("redis_write", "gapbs_bc"),
+        "write",
+        core_counts,
+        warmup,
+        measure,
+    )
+    data.notes = "P2M remains ~1.0 throughout; DDIO on/off should coincide."
+    return data

@@ -1,0 +1,544 @@
+"""Networking case-study figure builders (Appendices C, D, E:
+Figs. 18-30).
+
+RDMA figures replace the SSD P2M generator with a RoCE/PFC NIC; DCTCP
+figures add a full receive pipeline (NIC + copy cores + sender control
+loop) so the network app contributes both P2M and C2M traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import FigureData, root_cause_panels
+from repro.experiments.quadrants import QUADRANTS, QuadrantSpec
+from repro.experiments.runner import (
+    ColocationExperiment,
+    c2m_bandwidth_metric,
+    device_bandwidth_metric,
+)
+from repro.model.inputs import FormulaInputs
+from repro.model.read_latency import read_domain_latency, read_queueing_delay
+from repro.model.validation import (
+    ThroughputEstimate,
+    calibrate_read_constant,
+    calibrate_write_constant,
+    estimate_c2m_throughput,
+    estimate_p2m_throughput,
+)
+from repro.model.write_latency import write_admission_delay, write_domain_latency
+from repro.net.dctcp import DctcpReceiver
+from repro.net.rdma import add_rdma_read_traffic, add_rdma_write_traffic, gbps_to_bytes_per_ns
+from repro.sim.records import CACHELINE_BYTES, RequestKind
+from repro.topology.host import Host, RunResult
+from repro.topology.presets import HostConfig, cascade_lake
+
+#: achieved NIC rate in the paper's RDMA setup (~98 Gb/s)
+RDMA_GBPS = 98.0
+
+
+def rdma_quadrant_experiment(
+    spec: QuadrantSpec, config: Optional[HostConfig] = None, seed: int = 1
+) -> ColocationExperiment:
+    """A quadrant experiment with NIC-generated P2M traffic."""
+    if config is None:
+        config = cascade_lake()
+
+    def build_c2m(host: Host, n_cores: int) -> None:
+        host.add_stream_cores(n_cores, store_fraction=spec.store_fraction)
+
+    def build_p2m(host: Host) -> None:
+        if spec.p2m_kind is RequestKind.WRITE:
+            add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
+        else:
+            add_rdma_read_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
+
+    return ColocationExperiment(
+        config,
+        build_c2m,
+        build_p2m,
+        c2m_metric=c2m_bandwidth_metric(),
+        p2m_metric=device_bandwidth_metric("nic"),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 18: RDMA quadrants
+# ----------------------------------------------------------------------
+
+
+def fig18(
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Fig. 18: blue/red regimes across the four RDMA quadrants."""
+    data = FigureData(
+        "fig18",
+        "Figure 18: blue/red regimes, RDMA (RoCE/PFC) case study",
+        "c2m_cores",
+        list(core_counts),
+    )
+    for q in (1, 2, 3, 4):
+        experiment = rdma_quadrant_experiment(QUADRANTS[q], config)
+        points = experiment.sweep(core_counts, warmup, measure)
+        data.add(f"q{q}_c2m_degradation", [p.c2m_degradation for p in points])
+        data.add(f"q{q}_p2m_degradation", [p.p2m_degradation for p in points])
+        data.add(f"q{q}_c2m_bw", [p.colocated.class_bandwidth("c2m") for p in points])
+        data.add(f"q{q}_p2m_bw", [p.colocated.class_bandwidth("p2m") for p in points])
+        if QUADRANTS[q].p2m_kind is RequestKind.WRITE:
+            data.add(
+                f"q{q}_pfc_pause_fraction",
+                [p.colocated.extra.get("nic.pause_fraction", 0.0) for p in points],
+            )
+    data.notes = (
+        "Same regime structure as Fig. 3 with slightly lower magnitudes "
+        "(the NIC generates ~98 Gb/s vs the SSDs' ~112 Gb/s)."
+    )
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figures 20/21/22/24: RDMA root-cause panels
+# ----------------------------------------------------------------------
+
+
+def _rdma_root_cause(
+    figure_id: str,
+    quadrant: int,
+    core_counts: Sequence[int],
+    config: Optional[HostConfig],
+    warmup: float,
+    measure: float,
+) -> FigureData:
+    spec = QUADRANTS[quadrant]
+    experiment = rdma_quadrant_experiment(spec, config)
+    return root_cause_panels(
+        figure_id,
+        f"{figure_id}: RDMA root-cause metrics for {spec.describe()}",
+        experiment,
+        p2m_is_write=spec.p2m_kind is RequestKind.WRITE,
+        core_counts=core_counts,
+        warmup=warmup,
+        measure=measure,
+    )
+
+
+def fig20(core_counts=(1, 2, 3, 4, 5, 6), config=None, warmup=20_000.0, measure=60_000.0):
+    """Fig. 20: RDMA quadrant 1 root-cause metrics."""
+    return _rdma_root_cause("fig20", 1, core_counts, config, warmup, measure)
+
+
+def fig21(core_counts=(1, 2, 3, 4, 5, 6), config=None, warmup=20_000.0, measure=60_000.0):
+    """Fig. 21: RDMA quadrant 2 root-cause metrics."""
+    return _rdma_root_cause("fig21", 2, core_counts, config, warmup, measure)
+
+
+def fig22(core_counts=(1, 2, 3, 4, 5, 6), config=None, warmup=20_000.0, measure=60_000.0):
+    """Fig. 22: RDMA quadrant 3 root-cause metrics (incl. PFC pauses)."""
+    data = _rdma_root_cause("fig22", 3, core_counts, config, warmup, measure)
+    spec = QUADRANTS[3]
+    experiment = rdma_quadrant_experiment(spec, config)
+    pauses = []
+    for n in core_counts:
+        run = experiment.run_colocated(n, warmup, measure)
+        pauses.append(run.extra.get("nic.pause_fraction", 0.0))
+    data.add("pfc_pause_fraction", pauses)
+    return data
+
+
+def fig24(core_counts=(1, 2, 3, 4, 5, 6), config=None, warmup=20_000.0, measure=60_000.0):
+    """Fig. 24: RDMA quadrant 4 root-cause metrics."""
+    return _rdma_root_cause("fig24", 4, core_counts, config, warmup, measure)
+
+
+# ----------------------------------------------------------------------
+# Figure 23: microsecond-scale IIO occupancy under PFC
+# ----------------------------------------------------------------------
+
+
+def fig23(
+    core_counts: Sequence[int] = (4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 40_000.0,
+    sample_interval_ns: float = 1_000.0,
+) -> FigureData:
+    """Fig. 23: µs-scale IIO write-buffer occupancy, RDMA quadrant 3.
+
+    Under PFC the NIC keeps enough data queued to hold the IIO buffer
+    near full capacity throughout.
+    """
+    if config is None:
+        config = cascade_lake()
+    n_samples = int(measure // sample_interval_ns)
+    data = FigureData(
+        "fig23",
+        "Figure 23: microsecond-scale IIO write-buffer occupancy (RDMA Q3)",
+        "time_us",
+        [round(i * sample_interval_ns / 1000.0, 3) for i in range(n_samples)],
+    )
+    for n in core_counts:
+        host = Host(config)
+        host.add_stream_cores(n, store_fraction=1.0)
+        add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
+        samples: List[float] = []
+
+        def sample() -> None:
+            samples.append(float(host.iio.write_occ.value))
+            if len(samples) < n_samples:
+                host.sim.schedule(sample_interval_ns, sample)
+
+        host.start()
+        host.sim.run_until(warmup)
+        host.reset_measurement()
+        host.sim.schedule(0.0, sample)
+        host.sim.run_until(warmup + measure)
+        while len(samples) < n_samples:
+            samples.append(samples[-1] if samples else 0.0)
+        data.add(f"iio_occupancy_{n}_cores", samples)
+    data.notes = "Occupancy should sit near the 92-entry capacity throughout."
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 19: DCTCP case study
+# ----------------------------------------------------------------------
+
+
+def _dctcp_point(
+    n_mem_cores: int,
+    store_fraction: float,
+    config: HostConfig,
+    warmup: float,
+    measure: float,
+) -> Dict[str, float]:
+    """One DCTCP colocation point: memory app + TCP Rx on one host."""
+    host = Host(config)
+    if n_mem_cores:
+        host.add_stream_cores(n_mem_cores, store_fraction, traffic_class="mem")
+    receiver = DctcpReceiver(host)
+    result = host.run(warmup, measure)
+    return {
+        "goodput": receiver.goodput(result.elapsed_ns),
+        "loss_rate": receiver.loss_rate(),
+        "mem_bw": result.class_bandwidth("mem"),
+        "copy_bw": result.class_bandwidth("copy"),
+        "p2m_bw": result.class_bandwidth("p2m"),
+        "result": result,
+        "receiver": receiver,
+    }
+
+
+def fig19(
+    core_counts: Sequence[int] = (1, 2, 3, 4),
+    config: Optional[HostConfig] = None,
+    warmup: float = 60_000.0,
+    measure: float = 120_000.0,
+) -> FigureData:
+    """Fig. 19: DCTCP receive-side colocation.
+
+    Both the memory app and the network app degrade; the memory app
+    degrades more at low load, and for C2M-ReadWrite the network app
+    overtakes at higher load.
+    """
+    if config is None:
+        config = cascade_lake()
+    data = FigureData(
+        "fig19",
+        "Figure 19: DCTCP case study (memory app + TCP Rx)",
+        "c2m_cores",
+        list(core_counts),
+    )
+    tcp_iso = _dctcp_point(0, 0.0, config, warmup, measure)
+    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+        mem_deg, net_deg, mem_bw, copy_bw, p2m_bw, loss = [], [], [], [], [], []
+        for n in core_counts:
+            host = Host(config)
+            host.add_stream_cores(n, store_fraction, traffic_class="mem")
+            mem_iso = host.run(warmup, measure).class_bandwidth("mem")
+            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            mem_deg.append(mem_iso / max(1e-9, point["mem_bw"]))
+            net_deg.append(tcp_iso["goodput"] / max(1e-9, point["goodput"]))
+            mem_bw.append(point["mem_bw"])
+            copy_bw.append(point["copy_bw"])
+            p2m_bw.append(point["p2m_bw"])
+            loss.append(point["loss_rate"])
+        data.add(f"{tag}_memory_app_degradation", mem_deg)
+        data.add(f"{tag}_network_app_degradation", net_deg)
+        data.add(f"{tag}_mem_bw", mem_bw)
+        data.add(f"{tag}_copy_bw", copy_bw)
+        data.add(f"{tag}_p2m_bw", p2m_bw)
+        data.add(f"{tag}_loss_rate", loss)
+    data.notes = (
+        "Blue regime: both apps degrade via C2M latency (copy slowdown -> "
+        "flow control). Red regime (C2M-RW, high load): P2M degradation "
+        "causes NIC drops and a congestion response."
+    )
+    return data
+
+
+def _dctcp_root_cause(
+    figure_id: str,
+    store_fraction: float,
+    core_counts: Sequence[int],
+    config: Optional[HostConfig],
+    warmup: float,
+    measure: float,
+) -> FigureData:
+    """Figs. 25/26: DCTCP root-cause metrics."""
+    if config is None:
+        config = cascade_lake()
+    workload = "C2MRead" if store_fraction == 0.0 else "C2MReadWrite"
+    data = FigureData(
+        figure_id,
+        f"{figure_id}: DCTCP root-cause metrics ({workload} + TCP Rx)",
+        "c2m_cores",
+        list(core_counts),
+    )
+    runs = [
+        _dctcp_point(n, store_fraction, config, warmup, measure)["result"]
+        for n in core_counts
+    ]
+    data.add("c2m_read_latency_mem", [r.latency("c2m_read", "mem") for r in runs])
+    data.add("c2m_read_latency_copy", [r.latency("c2m_read", "copy") for r in runs])
+    data.add("rpq_occupancy", [r.rpq_avg_occupancy for r in runs])
+    data.add("p2m_write_latency", [r.latency("p2m_write", "p2m") for r in runs])
+    data.add("wpq_full_fraction", [r.wpq_full_fraction for r in runs])
+    data.add("iio_write_occupancy", [r.iio_write_avg_occupancy for r in runs])
+    data.add(
+        "loss_rate", [r.extra.get("nic.loss_rate", 0.0) for r in runs]
+    )
+    return data
+
+
+def fig25(core_counts=(1, 2, 3, 4), config=None, warmup=60_000.0, measure=120_000.0):
+    """Fig. 25: C2MRead + TCP Rx root-cause metrics."""
+    return _dctcp_root_cause("fig25", 0.0, core_counts, config, warmup, measure)
+
+
+def fig26(core_counts=(1, 2, 3, 4), config=None, warmup=60_000.0, measure=120_000.0):
+    """Fig. 26: C2MReadWrite + TCP Rx root-cause metrics."""
+    return _dctcp_root_cause("fig26", 1.0, core_counts, config, warmup, measure)
+
+
+# ----------------------------------------------------------------------
+# Figures 27/28: formula validation on RDMA
+# ----------------------------------------------------------------------
+
+
+def _rdma_calibrate(config: HostConfig, warmup: float, measure: float):
+    timing = config.dram_timing
+    host = Host(config)
+    host.add_stream_cores(1, store_fraction=0.0)
+    c_read = calibrate_read_constant(host.run(warmup, measure), timing)
+    host = Host(config)
+    add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
+    c_write = calibrate_write_constant(host.run(warmup, measure), timing)
+    host = Host(config)
+    host.add_stream_cores(1, store_fraction=1.0)
+    c_write_c2m = host.run(warmup, measure).latency("c2m_write")
+    return c_read, c_write, c_write_c2m
+
+
+def fig27(
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Fig. 27: formula accuracy on the RDMA case study."""
+    if config is None:
+        config = cascade_lake()
+    c_read, c_write, c_write_c2m = _rdma_calibrate(config, warmup, measure)
+    offered = gbps_to_bytes_per_ns(RDMA_GBPS)
+    data = FigureData(
+        "fig27",
+        "Figure 27: analytical formula accuracy, RDMA case study",
+        "c2m_cores",
+        list(core_counts),
+    )
+    for q in (1, 2, 3, 4):
+        spec = QUADRANTS[q]
+        experiment = rdma_quadrant_experiment(spec, config)
+        c2m_err, p2m_err = [], []
+        for n in core_counts:
+            run = experiment.run_colocated(n, warmup, measure)
+            c2m = estimate_c2m_throughput(
+                run,
+                c_read,
+                n,
+                store_stream=spec.store_fraction > 0,
+                constant_write=c_write_c2m,
+                cha_admission_correction=True,
+            )
+            c2m_err.append(c2m.error)
+            if spec.p2m_kind is RequestKind.WRITE:
+                p2m = estimate_p2m_throughput(
+                    run,
+                    c_write,
+                    is_write=True,
+                    offered_rate=offered,
+                    cha_admission_correction=True,
+                )
+                p2m_err.append(p2m.error)
+            else:
+                p2m_err.append(0.0)
+        data.add(f"q{q}_c2m_error", c2m_err)
+        data.add(f"q{q}_p2m_error", p2m_err)
+    data.notes = "The paper reports <= 6.5% error across RDMA data points."
+    return data
+
+
+def fig28(
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Fig. 28: formula component breakdown, RDMA case study."""
+    if config is None:
+        config = cascade_lake()
+    timing = config.dram_timing
+    data = FigureData(
+        "fig28",
+        "Figure 28: formula component breakdown, RDMA case study (ns)",
+        "c2m_cores",
+        list(core_counts),
+    )
+    for q in (1, 2, 3, 4):
+        experiment = rdma_quadrant_experiment(QUADRANTS[q], config)
+        switching, write_hol, read_hol, top_q = [], [], [], []
+        for n in core_counts:
+            run = experiment.run_colocated(n, warmup, measure)
+            breakdown = read_queueing_delay(FormulaInputs.from_run(run), timing)
+            switching.append(breakdown.switching)
+            write_hol.append(breakdown.write_hol)
+            read_hol.append(breakdown.read_hol)
+            top_q.append(breakdown.top_of_queue)
+        data.add(f"q{q}_switching", switching)
+        data.add(f"q{q}_write_hol", write_hol)
+        data.add(f"q{q}_read_hol", read_hol)
+        data.add(f"q{q}_top_of_queue", top_q)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figures 29/30: formula validation on DCTCP
+# ----------------------------------------------------------------------
+
+
+def fig29(
+    core_counts: Sequence[int] = (1, 2, 3, 4),
+    config: Optional[HostConfig] = None,
+    warmup: float = 60_000.0,
+    measure: float = 120_000.0,
+) -> FigureData:
+    """Fig. 29: formula accuracy on the DCTCP case study.
+
+    As in Appendix E.2, the network app's C2M throughput is estimated
+    by dividing its measured LFB occupancy by the formula's C2M
+    latency, and its P2M throughput by dividing the measured IIO
+    occupancy by the formula's P2M-Write latency.
+    """
+    if config is None:
+        config = cascade_lake()
+    timing = config.dram_timing
+    host = Host(config)
+    host.add_stream_cores(1, store_fraction=0.0, traffic_class="mem")
+    unloaded = host.run(warmup, measure)
+    c_read = calibrate_read_constant(unloaded, timing, traffic_class="mem")
+    host = Host(config)
+    DctcpReceiver(host)
+    c_write = calibrate_write_constant(host.run(warmup, measure), timing)
+
+    data = FigureData(
+        "fig29",
+        "Figure 29: analytical formula accuracy, DCTCP case study",
+        "c2m_cores",
+        list(core_counts),
+    )
+    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+        mem_err, copy_err, p2m_err = [], [], []
+        for n in core_counts:
+            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            run: RunResult = point["result"]
+            inputs = FormulaInputs.from_run(run)
+            latency = read_domain_latency(c_read, inputs, timing)
+            latency += run.cha_admission_delay.get("mem", 0.0)
+            # Memory app: LFB-bound bound (x2 lines for the RW stream).
+            lines_per_req = 2.0 if store_fraction > 0 else 1.0
+            est_mem = (
+                n * config.effective_lfb_size * lines_per_req * CACHELINE_BYTES / latency
+            )
+            mem_err.append(
+                ThroughputEstimate(est_mem, max(1e-9, run.class_bandwidth("mem"))).error
+            )
+            # Network app C2M: measured copy LFB occupancy / formula latency.
+            copy_occ = run.lfb_avg_occupancy.get("copy", 0.0)
+            est_copy = copy_occ * 2.0 * CACHELINE_BYTES / latency
+            copy_err.append(
+                ThroughputEstimate(
+                    est_copy, max(1e-9, run.class_bandwidth("copy"))
+                ).error
+            )
+            # Network app P2M: measured IIO occupancy / formula latency.
+            w_latency = write_domain_latency(c_write, inputs, timing)
+            w_latency += run.cha_admission_delay.get("p2m", 0.0)
+            est_p2m = run.iio_write_avg_occupancy * CACHELINE_BYTES / w_latency
+            p2m_err.append(
+                ThroughputEstimate(est_p2m, max(1e-9, run.class_bandwidth("p2m"))).error
+            )
+        data.add(f"{tag}_memory_app_error", mem_err)
+        data.add(f"{tag}_network_c2m_error", copy_err)
+        data.add(f"{tag}_network_p2m_error", p2m_err)
+    data.notes = (
+        "The paper reports <= 10% error except the highest-loss point "
+        "(congestion-control dynamics dominate there)."
+    )
+    return data
+
+
+def fig30(
+    core_counts: Sequence[int] = (1, 2, 3, 4),
+    config: Optional[HostConfig] = None,
+    warmup: float = 60_000.0,
+    measure: float = 120_000.0,
+) -> FigureData:
+    """Fig. 30: formula component breakdown, DCTCP case study."""
+    if config is None:
+        config = cascade_lake()
+    timing = config.dram_timing
+    data = FigureData(
+        "fig30",
+        "Figure 30: formula component breakdown, DCTCP case study (ns)",
+        "c2m_cores",
+        list(core_counts),
+    )
+    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+        r_switch, r_whol, r_rhol, r_topq = [], [], [], []
+        w_switch, w_rhol, w_whol, w_topq = [], [], [], []
+        for n in core_counts:
+            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            inputs = FormulaInputs.from_run(point["result"])
+            read_bd = read_queueing_delay(inputs, timing)
+            write_bd = write_admission_delay(inputs, timing)
+            r_switch.append(read_bd.switching)
+            r_whol.append(read_bd.write_hol)
+            r_rhol.append(read_bd.read_hol)
+            r_topq.append(read_bd.top_of_queue)
+            w_switch.append(write_bd.switching)
+            w_rhol.append(write_bd.read_hol)
+            w_whol.append(write_bd.write_hol)
+            w_topq.append(write_bd.top_of_queue)
+        data.add(f"{tag}_c2m_switching", r_switch)
+        data.add(f"{tag}_c2m_write_hol", r_whol)
+        data.add(f"{tag}_c2m_read_hol", r_rhol)
+        data.add(f"{tag}_c2m_top_of_queue", r_topq)
+        data.add(f"{tag}_p2m_switching", w_switch)
+        data.add(f"{tag}_p2m_read_hol", w_rhol)
+        data.add(f"{tag}_p2m_write_hol", w_whol)
+        data.add(f"{tag}_p2m_top_of_queue", w_topq)
+    return data

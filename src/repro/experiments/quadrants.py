@@ -1,0 +1,86 @@
+"""The four quadrants of §2.2 (Fig. 3).
+
+Quadrant  C2M workload    P2M workload   Regime observed
+  1       C2M-Read        P2M-Write      blue
+  2       C2M-Read        P2M-Read       blue
+  3       C2M-ReadWrite   P2M-Write      blue then red
+  4       C2M-ReadWrite   P2M-Read       blue
+
+Run on the Cascade Lake preset with prefetching and DDIO disabled,
+exactly as the paper configures them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ColocationExperiment,
+    ColocationPoint,
+    c2m_bandwidth_metric,
+    device_bandwidth_metric,
+)
+from repro.sim.records import RequestKind
+from repro.topology.host import Host
+from repro.topology.presets import HostConfig, cascade_lake
+
+
+@dataclass(frozen=True)
+class QuadrantSpec:
+    """Workload combination for one quadrant."""
+
+    number: int
+    c2m_name: str
+    p2m_name: str
+    store_fraction: float  # 0.0 = C2M-Read, 1.0 = C2M-ReadWrite
+    p2m_kind: RequestKind  # memory-level direction of the DMA stream
+
+    def describe(self) -> str:
+        """Human-readable quadrant label."""
+        return f"Q{self.number}: {self.c2m_name} + {self.p2m_name}"
+
+
+QUADRANTS = {
+    1: QuadrantSpec(1, "C2M-Read", "P2M-Write", 0.0, RequestKind.WRITE),
+    2: QuadrantSpec(2, "C2M-Read", "P2M-Read", 0.0, RequestKind.READ),
+    3: QuadrantSpec(3, "C2M-ReadWrite", "P2M-Write", 1.0, RequestKind.WRITE),
+    4: QuadrantSpec(4, "C2M-ReadWrite", "P2M-Read", 1.0, RequestKind.READ),
+}
+
+
+def quadrant_experiment(
+    spec: QuadrantSpec, config: Optional[HostConfig] = None, seed: int = 1
+) -> ColocationExperiment:
+    """Build the colocation experiment for a quadrant."""
+    if config is None:
+        config = cascade_lake()
+
+    def build_c2m(host: Host, n_cores: int) -> None:
+        host.add_stream_cores(n_cores, store_fraction=spec.store_fraction)
+
+    def build_p2m(host: Host) -> None:
+        host.add_raw_dma(spec.p2m_kind, name="dma")
+
+    return ColocationExperiment(
+        config,
+        build_c2m,
+        build_p2m,
+        c2m_metric=c2m_bandwidth_metric(),
+        p2m_metric=device_bandwidth_metric("dma"),
+        seed=seed,
+    )
+
+
+def run_quadrant(
+    quadrant: int,
+    core_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+    seed: int = 1,
+) -> List[ColocationPoint]:
+    """Run one quadrant's sweep (a column pair of Fig. 3)."""
+    spec = QUADRANTS[quadrant]
+    experiment = quadrant_experiment(spec, config, seed)
+    return experiment.sweep(core_counts, warmup, measure)

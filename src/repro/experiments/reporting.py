@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the rows/series its figure reports using these
+helpers, so the console output can be compared line-by-line with the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, series: Dict[str, Sequence[float]],
+                  x_values: Sequence) -> str:
+    """Render named y-series against shared x values (a 'figure')."""
+    columns = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return render_table(title, columns, rows)

@@ -1,0 +1,176 @@
+"""Colocation experiment runner.
+
+The paper's experimental template (§2): run the C2M app in isolation,
+run the P2M app in isolation, colocate them, and report per-app
+degradation (isolated / colocated throughput) plus the memory-bandwidth
+breakdown of the colocated run. :class:`ColocationExperiment`
+parameterizes the template over workload builders and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.regimes import Regime, RegimePoint, classify_regime
+from repro.topology.host import Host, RunResult
+from repro.topology.presets import HostConfig
+
+#: builds the C2M side onto a host with a given core count
+C2MBuilder = Callable[[Host, int], None]
+#: builds the P2M side onto a host
+P2MBuilder = Callable[[Host], None]
+#: extracts an app throughput from a run
+Metric = Callable[[RunResult], float]
+
+
+def c2m_bandwidth_metric(traffic_class: str = "c2m") -> Metric:
+    """C2M app throughput as its memory bandwidth (STREAM workloads)."""
+
+    def metric(result: RunResult) -> float:
+        return result.class_bandwidth(traffic_class)
+
+    return metric
+
+
+def device_bandwidth_metric(name: str = "dma") -> Metric:
+    """P2M app throughput as device data rate (FIO/NIC)."""
+
+    def metric(result: RunResult) -> float:
+        return result.device_bandwidth(name)
+
+    return metric
+
+
+def workload_ops_metric(name: str) -> Metric:
+    """App throughput as completed operations per ns (Redis queries,
+    GAPBS edges)."""
+
+    def metric(result: RunResult) -> float:
+        return result.ops_rate(name)
+
+    return metric
+
+
+@dataclass
+class ColocationPoint:
+    """One core-count data point of a colocation sweep."""
+
+    n_c2m_cores: int
+    c2m_isolated: float
+    p2m_isolated: float
+    c2m_colocated: float
+    p2m_colocated: float
+    colocated: RunResult
+    c2m_isolated_run: RunResult
+    p2m_isolated_run: RunResult
+
+    @property
+    def c2m_degradation(self) -> float:
+        """Isolated / colocated throughput (>= 1 means degraded)."""
+        if self.c2m_colocated <= 0:
+            return float("inf")
+        return self.c2m_isolated / self.c2m_colocated
+
+    @property
+    def p2m_degradation(self) -> float:
+        """Isolated / colocated P2M throughput (>= 1 means degraded)."""
+        if self.p2m_colocated <= 0:
+            return float("inf")
+        return self.p2m_isolated / self.p2m_colocated
+
+    @property
+    def regime(self) -> Regime:
+        """The paper's blue/red classification of this point."""
+        return classify_regime(
+            RegimePoint(
+                c2m_degradation=max(1e-9, self.c2m_degradation),
+                p2m_degradation=max(1e-9, self.p2m_degradation),
+                mem_bw_utilization=min(1.5, self.colocated.mem_bw_utilization),
+            )
+        )
+
+
+class ColocationExperiment:
+    """Template for an isolated-vs-colocated sweep over C2M core counts.
+
+    Args:
+        config: host configuration (one of the Table 1 presets).
+        build_c2m: attaches the C2M app to a host for a core count.
+        build_p2m: attaches the P2M app to a host.
+        c2m_metric / p2m_metric: app throughput extractors.
+        seed: deterministic region placement / workload seed.
+    """
+
+    def __init__(
+        self,
+        config: HostConfig,
+        build_c2m: C2MBuilder,
+        build_p2m: P2MBuilder,
+        c2m_metric: Optional[Metric] = None,
+        p2m_metric: Optional[Metric] = None,
+        seed: int = 1,
+    ):
+        self.config = config
+        self.build_c2m = build_c2m
+        self.build_p2m = build_p2m
+        self.c2m_metric = c2m_metric or c2m_bandwidth_metric()
+        self.p2m_metric = p2m_metric or device_bandwidth_metric()
+        self.seed = seed
+
+    def _new_host(self) -> Host:
+        return Host(self.config, seed=self.seed)
+
+    def run_c2m_isolated(self, n_cores: int, warmup: float, measure: float) -> RunResult:
+        """Run only the C2M app."""
+        host = self._new_host()
+        self.build_c2m(host, n_cores)
+        return host.run(warmup, measure)
+
+    def run_p2m_isolated(self, warmup: float, measure: float) -> RunResult:
+        """Run only the P2M app."""
+        host = self._new_host()
+        self.build_p2m(host)
+        return host.run(warmup, measure)
+
+    def run_colocated(self, n_cores: int, warmup: float, measure: float) -> RunResult:
+        """Run both apps on one host."""
+        host = self._new_host()
+        self.build_c2m(host, n_cores)
+        self.build_p2m(host)
+        return host.run(warmup, measure)
+
+    def point(
+        self,
+        n_cores: int,
+        warmup: float = 20_000.0,
+        measure: float = 60_000.0,
+        p2m_isolated_run: Optional[RunResult] = None,
+    ) -> ColocationPoint:
+        """Measure one data point (isolated pair + colocated run)."""
+        c2m_iso = self.run_c2m_isolated(n_cores, warmup, measure)
+        p2m_iso = p2m_isolated_run or self.run_p2m_isolated(warmup, measure)
+        colocated = self.run_colocated(n_cores, warmup, measure)
+        return ColocationPoint(
+            n_c2m_cores=n_cores,
+            c2m_isolated=self.c2m_metric(c2m_iso),
+            p2m_isolated=self.p2m_metric(p2m_iso),
+            c2m_colocated=self.c2m_metric(colocated),
+            p2m_colocated=self.p2m_metric(colocated),
+            colocated=colocated,
+            c2m_isolated_run=c2m_iso,
+            p2m_isolated_run=p2m_iso,
+        )
+
+    def sweep(
+        self,
+        core_counts: Sequence[int],
+        warmup: float = 20_000.0,
+        measure: float = 60_000.0,
+    ) -> List[ColocationPoint]:
+        """Sweep C2M core counts; the P2M isolation run is shared."""
+        p2m_iso = self.run_p2m_isolated(warmup, measure)
+        return [
+            self.point(n, warmup, measure, p2m_isolated_run=p2m_iso)
+            for n in core_counts
+        ]

@@ -1,0 +1,14 @@
+"""Extensions: the paper's §7 future-work directions, implemented.
+
+* :mod:`repro.ext.hostcc` — host-network congestion control for
+  traffic contained within a single host, extending the hostCC [2]
+  idea the paper points at: monitor the P2M-Write domain latency and
+  actuate MBA-style per-core memory-bandwidth throttling.
+* The MC-side isolation policy ("new memory controller scheduling
+  mechanisms to better isolate C2M/P2M traffic") lives in the memory
+  controller itself: ``HostConfig(p2m_write_priority=True)``.
+"""
+
+from repro.ext.hostcc import HostCongestionController
+
+__all__ = ["HostCongestionController"]

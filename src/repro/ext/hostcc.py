@@ -1,0 +1,118 @@
+"""Host congestion control for single-host traffic (§7 future work).
+
+The paper closes by suggesting "new mechanisms for host network
+resource allocation (e.g., extending ideas in hostCC [2] to the case
+of all traffic contained within a single host)". This module is that
+extension, built from the ingredients hostCC uses on real hardware:
+
+* **congestion signal** — the P2M-Write domain latency, measured the
+  same way the paper measures it (credit allocation to replenishment
+  at the IIO), sampled per control interval;
+* **actuator** — Intel MBA-style per-core memory-bandwidth throttling,
+  modelled as a minimum spacing between issued memory operations
+  (:attr:`repro.cpu.core.Core.throttle_gap_ns`);
+* **control law** — AIMD: when the sampled P2M-Write latency exceeds
+  the target, increase the throttle gap multiplicatively; otherwise
+  relax it additively.
+
+The controller trades C2M throughput for P2M-Write latency: in the
+red regime it caps the latency near the target (protecting the P2M
+app's credit budget) at the cost of slowing the offending cores — the
+policy knob the paper argues hosts currently lack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import Core
+from repro.topology.host import Host
+
+
+class HostCongestionController:
+    """AIMD controller from P2M-Write latency to core throttling.
+
+    Args:
+        host: the host to control (attach after adding all cores).
+        target_latency_ns: P2M-Write domain latency setpoint. A good
+            default is ~1.3x the unloaded ~300 ns.
+        interval_ns: control period.
+        cores: cores to throttle (defaults to every core on the host).
+        max_gap_ns: upper bound on the per-op throttle gap.
+        increase_factor / relax_step_ns: AIMD parameters.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        target_latency_ns: float = 390.0,
+        interval_ns: float = 2_000.0,
+        cores: Optional[List[Core]] = None,
+        max_gap_ns: float = 200.0,
+        increase_factor: float = 1.5,
+        relax_step_ns: float = 2.0,
+        traffic_class: str = "p2m",
+    ):
+        if target_latency_ns <= 0 or interval_ns <= 0:
+            raise ValueError("target latency and interval must be positive")
+        self.host = host
+        self.target_latency_ns = target_latency_ns
+        self.interval_ns = interval_ns
+        self.cores = cores if cores is not None else list(host.cores)
+        self.max_gap_ns = max_gap_ns
+        self.increase_factor = increase_factor
+        self.relax_step_ns = relax_step_ns
+        self._stat = host.hub.latency(f"domain.p2m_write.{traffic_class}")
+        self._last_total = 0.0
+        self._last_count = 0
+        self.gap_ns = 0.0
+        self.gap_history: List[float] = []
+        self.latency_history: List[float] = []
+        host.sim.schedule(interval_ns, self._tick)
+
+    # ------------------------------------------------------------------
+
+    def _sample_latency(self) -> Optional[float]:
+        """Average P2M-Write latency over the last interval, or None
+        if no writes completed (counter resets are handled)."""
+        total, count = self._stat.total, self._stat.count
+        d_total = total - self._last_total
+        d_count = count - self._last_count
+        self._last_total, self._last_count = total, count
+        if d_count <= 0 or d_total < 0:
+            return None
+        return d_total / d_count
+
+    def _tick(self) -> None:
+        latency = self._sample_latency()
+        if latency is not None:
+            self.latency_history.append(latency)
+            if latency > self.target_latency_ns:
+                self.gap_ns = min(
+                    self.max_gap_ns,
+                    max(self.relax_step_ns, self.gap_ns) * self.increase_factor,
+                )
+            else:
+                self.gap_ns = max(0.0, self.gap_ns - self.relax_step_ns)
+            self._apply()
+        self.gap_history.append(self.gap_ns)
+        self.host.sim.schedule(self.interval_ns, self._tick)
+
+    def _apply(self) -> None:
+        for core in self.cores:
+            core.throttle_gap_ns = self.gap_ns
+            # Wake a throttled core that may be waiting on the old gap.
+            core.kick()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def throttling_active(self) -> bool:
+        """Whether any throttle gap is currently applied."""
+        return self.gap_ns > 0.0
+
+    def average_latency(self) -> float:
+        """Mean of the per-interval P2M-Write latency samples."""
+        if not self.latency_history:
+            return 0.0
+        return sum(self.latency_history) / len(self.latency_history)

@@ -1,0 +1,41 @@
+"""The paper's analytical latency model (§6).
+
+The model expresses average read/write domain latency as a constant
+(the unloaded datapath) plus queueing delay at the MC (reads) or
+admission delay into the WPQ (writes), driven entirely by measurable
+counters (Table 2). Estimated throughput then follows from the domain
+bound ``T <= C * 64 / L`` and is validated against measured throughput
+(Fig. 11), with a per-component breakdown (Fig. 12).
+"""
+
+from repro.model.inputs import FormulaInputs
+from repro.model.read_latency import ReadLatencyBreakdown, read_domain_latency, read_queueing_delay
+from repro.model.write_latency import (
+    WriteLatencyBreakdown,
+    write_admission_delay,
+    write_domain_latency,
+)
+from repro.model.validation import (
+    ThroughputEstimate,
+    calibrate_read_constant,
+    calibrate_write_constant,
+    estimate_c2m_throughput,
+    estimate_p2m_throughput,
+    signed_error,
+)
+
+__all__ = [
+    "FormulaInputs",
+    "ReadLatencyBreakdown",
+    "read_domain_latency",
+    "read_queueing_delay",
+    "WriteLatencyBreakdown",
+    "write_admission_delay",
+    "write_domain_latency",
+    "ThroughputEstimate",
+    "calibrate_read_constant",
+    "calibrate_write_constant",
+    "estimate_c2m_throughput",
+    "estimate_p2m_throughput",
+    "signed_error",
+]

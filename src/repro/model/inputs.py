@@ -1,0 +1,67 @@
+"""Analytical-formula inputs (Table 2).
+
++---------------------+------------------------------------------------+
+| P_fill_WPQ          | probability that the WPQ is full               |
+| N_waiting           | # write requests awaiting WPQ admission        |
+| #switches           | # switches between read and write mode        |
+| lines_read/written  | # cachelines read / written                    |
+| O_RPQ               | average RPQ occupancy                          |
+| PRE_conflict r/w    | # precharges due to row conflicts              |
+| ACT r/w             | # activations                                  |
++---------------------+------------------------------------------------+
+
+All inputs are captured with MC counters except ``N_waiting``, which
+comes from CHA counters (the backlog lives there when the WPQ is
+full), exactly as in §6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.host import RunResult
+
+
+@dataclass(frozen=True)
+class FormulaInputs:
+    """Measured inputs for the read/write latency formulae.
+
+    Counts are totals over the measurement window (the formulae only
+    use scale-invariant ratios of them); occupancies are per-channel
+    averages, matching how the paper programs the MC counters.
+    """
+
+    p_fill_wpq: float
+    n_waiting: float
+    switches_wtr: int  # write -> read transitions (blocks reads, t_WTR)
+    switches_rtw: int  # read -> write transitions (blocks writes, t_RTW)
+    lines_read: int
+    lines_written: int
+    o_rpq: float
+    act_read: int
+    act_write: int
+    pre_conflict_read: int
+    pre_conflict_write: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_fill_wpq <= 1:
+            raise ValueError("p_fill_wpq must be a probability")
+        if self.n_waiting < 0 or self.o_rpq < 0:
+            raise ValueError("occupancies must be non-negative")
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "FormulaInputs":
+        """Extract the Table 2 inputs from a measurement window."""
+        return cls(
+            p_fill_wpq=result.wpq_full_fraction,
+            n_waiting=result.cha_write_waiting_avg,
+            switches_wtr=result.switches_wtr,
+            switches_rtw=result.switches_rtw,
+            lines_read=result.lines_read,
+            lines_written=result.lines_written,
+            o_rpq=result.rpq_avg_occupancy,
+            act_read=result.act_read,
+            act_write=result.act_write,
+            pre_conflict_read=result.pre_conflict_read,
+            pre_conflict_write=result.pre_conflict_write,
+        )

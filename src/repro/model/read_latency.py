@@ -1,0 +1,65 @@
+"""Read-domain latency formula (Fig. 9).
+
+    L_read = Constant_read + QD_read
+
+    QD_read = O_RPQ * (#switches / lines_read) * t_WTR      (Switching)
+            + O_RPQ * (lines_written / lines_read) * t_Trans (Write HoL)
+            + (O_RPQ - 1) * t_Trans                          (Read HoL)
+            + (#ACT_read * t_ACT + #PRE_read * t_PRE)
+              / lines_read                                   (Top-of-queue)
+
+Applies to both the C2M-Read and P2M-Read domains; only the constant
+differs (they have non-shared hops, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DramTiming
+from repro.model.inputs import FormulaInputs
+
+
+@dataclass(frozen=True)
+class ReadLatencyBreakdown:
+    """Additive components of read queueing delay (Fig. 12)."""
+
+    switching: float
+    write_hol: float
+    read_hol: float
+    top_of_queue: float
+
+    @property
+    def total(self) -> float:
+        """QD_read: the sum of all four components."""
+        return self.switching + self.write_hol + self.read_hol + self.top_of_queue
+
+
+def read_queueing_delay(
+    inputs: FormulaInputs, timing: DramTiming
+) -> ReadLatencyBreakdown:
+    """Average queueing delay for reads at the MC (Fig. 9)."""
+    if inputs.lines_read <= 0:
+        return ReadLatencyBreakdown(0.0, 0.0, 0.0, 0.0)
+    o_rpq = inputs.o_rpq
+    switching = o_rpq * (inputs.switches_wtr / inputs.lines_read) * timing.t_wtr
+    write_hol = o_rpq * (inputs.lines_written / inputs.lines_read) * timing.t_trans
+    read_hol = max(0.0, o_rpq - 1.0) * timing.t_trans
+    top_of_queue = (
+        inputs.act_read * timing.t_act + inputs.pre_conflict_read * timing.t_pre
+    ) / inputs.lines_read
+    return ReadLatencyBreakdown(
+        switching=switching,
+        write_hol=write_hol,
+        read_hol=read_hol,
+        top_of_queue=top_of_queue,
+    )
+
+
+def read_domain_latency(
+    constant: float, inputs: FormulaInputs, timing: DramTiming
+) -> float:
+    """L_read = Constant_read + QD_read (average, ns)."""
+    if constant < 0:
+        raise ValueError("constant must be non-negative")
+    return constant + read_queueing_delay(inputs, timing).total

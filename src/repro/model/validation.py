@@ -1,0 +1,151 @@
+"""Applying the formula and validating against measured throughput
+(§6.2, Figs. 11/12).
+
+Constants are calibrated from unloaded runs (the paper sets them from
+the §4.2 unloaded domain latencies): the constant is the measured
+domain latency minus whatever queueing delay the formula attributes to
+the unloaded window, so the formula is exact at the calibration point
+and is *tested* by how well it tracks latency inflation under load.
+
+Throughput estimation then follows §4's bound:
+
+* C2M: ``T = n_cores * LFB * 64 / L`` (the LFB is fully utilized);
+* P2M: ``T = min(offered rate, credits * 64 / L)`` (spare credits mask
+  inflation until the bound crosses the offered load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.timing import DramTiming
+from repro.model.inputs import FormulaInputs
+from repro.model.read_latency import read_domain_latency, read_queueing_delay
+from repro.model.write_latency import write_admission_delay, write_domain_latency
+from repro.sim.records import CACHELINE_BYTES
+from repro.topology.host import RunResult
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """A formula estimate next to the measured value (bytes/ns)."""
+
+    estimated: float
+    measured: float
+
+    @property
+    def error(self) -> float:
+        """Signed relative error: positive = overestimation (Fig. 11)."""
+        return signed_error(self.estimated, self.measured)
+
+
+def signed_error(estimated: float, measured: float) -> float:
+    """(estimated - measured) / measured; positive = overestimation."""
+    if measured <= 0:
+        raise ValueError("measured value must be positive")
+    return (estimated - measured) / measured
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+
+
+def calibrate_read_constant(
+    unloaded: RunResult,
+    timing: DramTiming,
+    domain: str = "c2m_read",
+    traffic_class: str = "c2m",
+) -> float:
+    """Constant_read from an unloaded (isolated, low-load) run."""
+    measured = unloaded.latency(domain, traffic_class)
+    if measured <= 0:
+        raise ValueError(f"no latency samples for {domain}.{traffic_class}")
+    queueing = read_queueing_delay(FormulaInputs.from_run(unloaded), timing).total
+    return max(0.0, measured - queueing)
+
+
+def calibrate_write_constant(
+    unloaded: RunResult,
+    timing: DramTiming,
+    domain: str = "p2m_write",
+    traffic_class: str = "p2m",
+) -> float:
+    """Constant_write from an unloaded run."""
+    measured = unloaded.latency(domain, traffic_class)
+    if measured <= 0:
+        raise ValueError(f"no latency samples for {domain}.{traffic_class}")
+    admission = write_admission_delay(FormulaInputs.from_run(unloaded), timing).total
+    return max(0.0, measured - admission)
+
+
+# ----------------------------------------------------------------------
+# Throughput estimation
+# ----------------------------------------------------------------------
+
+
+def estimate_c2m_throughput(
+    result: RunResult,
+    constant_read: float,
+    n_cores: int,
+    store_stream: bool = False,
+    constant_write: float = 0.0,
+    cha_admission_correction: bool = False,
+) -> ThroughputEstimate:
+    """Estimate C2M memory throughput from the read-domain formula.
+
+    For C2M-ReadWrite the LFB entry covers the read plus the write
+    handoff, so the per-request latency is ``L_read + Constant_write``
+    and each request moves two lines (RFO read + writeback), as in
+    §6.2 "for C2M-ReadWrite, we use the C2M-Read domain latency plus a
+    constant".
+
+    ``cha_admission_correction`` adds the measured CHA admission delay
+    (the §6.2 fix for quadrant 3 beyond 4 C2M cores).
+    """
+    timing = result.config.dram_timing
+    inputs = FormulaInputs.from_run(result)
+    latency = read_domain_latency(constant_read, inputs, timing)
+    if store_stream:
+        latency += constant_write
+    if cha_admission_correction:
+        latency += result.cha_admission_delay.get("c2m", 0.0)
+    lines_per_request = 2.0 if store_stream else 1.0
+    credits = n_cores * result.config.effective_lfb_size
+    estimated = credits * lines_per_request * CACHELINE_BYTES / latency
+    return ThroughputEstimate(estimated=estimated, measured=result.class_bandwidth("c2m"))
+
+
+def estimate_p2m_throughput(
+    result: RunResult,
+    constant: float,
+    is_write: bool,
+    offered_rate: Optional[float] = None,
+    measured: Optional[float] = None,
+    cha_admission_correction: bool = False,
+) -> ThroughputEstimate:
+    """Estimate P2M throughput from the matching domain formula.
+
+    ``offered_rate`` caps the estimate (spare credits mean the domain
+    meets its offered load until the bound crosses it); it defaults to
+    the configured device rate.
+    """
+    config = result.config
+    timing = config.dram_timing
+    inputs = FormulaInputs.from_run(result)
+    if is_write:
+        latency = write_domain_latency(constant, inputs, timing)
+        credits = config.iio_write_entries
+    else:
+        latency = read_domain_latency(constant, inputs, timing)
+        credits = config.iio_read_entries
+    if cha_admission_correction:
+        latency += result.cha_admission_delay.get("p2m", 0.0)
+    bound = credits * CACHELINE_BYTES / latency
+    if offered_rate is None:
+        offered_rate = config.device_rate
+    estimated = min(offered_rate, bound)
+    if measured is None:
+        measured = result.class_bandwidth("p2m")
+    return ThroughputEstimate(estimated=estimated, measured=measured)

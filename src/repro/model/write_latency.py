@@ -1,0 +1,73 @@
+"""Write-domain latency formula (Fig. 10).
+
+    L_write = Constant_write + AD_write
+    AD_write = P_fill_WPQ * X_write
+    X_write = N_waiting * (#switches / lines_written) * t_RTW (Switching)
+            + N_waiting * (lines_read / lines_written) * t_Trans (Read HoL)
+            + (N_waiting - 1) * t_Trans                          (Write HoL)
+            + (#ACT_write * t_ACT + #PRE_write * t_PRE)
+              / lines_written                                    (Top-of-queue)
+
+Writes complete at WPQ admission, so latency only inflates when the
+WPQ is full (probability ``P_fill_WPQ``); the waiting time is the dual
+of the read expression with ``N_waiting`` — writes ahead of ours that
+must be processed to make queue space — in place of ``O_RPQ`` (§6.1).
+Applies to the P2M-Write domain; C2M-Write latency is not modelled
+(treated as constant, §6.1), which is exactly the asymmetry that lets
+the red regime hit P2M but not C2M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DramTiming
+from repro.model.inputs import FormulaInputs
+
+
+@dataclass(frozen=True)
+class WriteLatencyBreakdown:
+    """Additive components of write admission delay, already scaled by
+    ``P_fill_WPQ`` (so they sum to ``AD_write``, comparable to
+    Fig. 12's stacked bars)."""
+
+    switching: float
+    read_hol: float
+    write_hol: float
+    top_of_queue: float
+
+    @property
+    def total(self) -> float:
+        """AD_write: the sum of all four (already P_fill-scaled) parts."""
+        return self.switching + self.read_hol + self.write_hol + self.top_of_queue
+
+
+def write_admission_delay(
+    inputs: FormulaInputs, timing: DramTiming
+) -> WriteLatencyBreakdown:
+    """AD_write = P_fill_WPQ * X_write, broken into components."""
+    if inputs.lines_written <= 0 or inputs.p_fill_wpq <= 0:
+        return WriteLatencyBreakdown(0.0, 0.0, 0.0, 0.0)
+    n = inputs.n_waiting
+    p = inputs.p_fill_wpq
+    switching = n * (inputs.switches_rtw / inputs.lines_written) * timing.t_rtw
+    read_hol = n * (inputs.lines_read / inputs.lines_written) * timing.t_trans
+    write_hol = max(0.0, n - 1.0) * timing.t_trans
+    top_of_queue = (
+        inputs.act_write * timing.t_act + inputs.pre_conflict_write * timing.t_pre
+    ) / inputs.lines_written
+    return WriteLatencyBreakdown(
+        switching=p * switching,
+        read_hol=p * read_hol,
+        write_hol=p * write_hol,
+        top_of_queue=p * top_of_queue,
+    )
+
+
+def write_domain_latency(
+    constant: float, inputs: FormulaInputs, timing: DramTiming
+) -> float:
+    """L_write = Constant_write + AD_write (average, ns)."""
+    if constant < 0:
+        raise ValueError("constant must be non-negative")
+    return constant + write_admission_delay(inputs, timing).total

@@ -1,0 +1,19 @@
+"""Networking case studies (§2.3, Appendices C–E).
+
+* :mod:`repro.net.rdma` — RoCE/PFC traffic (``ib_write_bw`` /
+  ``ib_read_bw`` server side): hardware-offloaded transport whose P2M
+  load is flow-controlled losslessly by PFC.
+* :mod:`repro.net.dctcp` — DCTCP receiver: kernel transport where the
+  network app *also* generates C2M traffic (the data copy between
+  socket and application buffers), with window/loss feedback to the
+  sender.
+"""
+
+from repro.net.rdma import add_rdma_read_traffic, add_rdma_write_traffic
+from repro.net.dctcp import DctcpReceiver
+
+__all__ = [
+    "add_rdma_write_traffic",
+    "add_rdma_read_traffic",
+    "DctcpReceiver",
+]

@@ -1,0 +1,253 @@
+"""DCTCP receiver model (§2.3, Appendices C.2 / D.2 / E.2).
+
+With an in-kernel transport the networked application is *both* a P2M
+and a C2M app: the NIC DMA-writes packets into kernel socket buffers
+(P2M writes), and receive cores copy the payload into application
+buffers (C2M reads + writes). Two feedback loops shape throughput:
+
+* **Blue regime** — C2M latency inflation slows the data copy; socket
+  buffers back up; TCP flow control (the advertised window) reduces
+  the sender's rate. No loss.
+* **Red regime** — P2M-Write degradation stalls the NIC's DMA; the
+  (lossy) NIC buffer overflows; packet drops trigger the congestion
+  response at the sender, degrading throughput further.
+
+The model is flow-level: a rate-based sender adjusted every RTT —
+multiplicative decrease on loss (DCTCP's ECN-fraction response
+collapses to this at the fluid level), a receive-window clamp to the
+measured copy rate when socket buffers back up, and additive increase
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cpu.workloads import OP_LOAD, OP_NT_STORE, MemoryWorkload
+from repro.dram.region import Region
+from repro.pcie.nic import Nic
+from repro.sim.records import CACHELINE_BYTES
+
+
+class SocketBuffers:
+    """Kernel socket-buffer accounting shared by NIC and copy cores."""
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_lines = max(1, capacity_bytes // CACHELINE_BYTES)
+        self.delivered = 0  # lines DMA'd into memory by the NIC
+        self.claimed = 0  # lines claimed by copy cores
+        self.copied = 0  # lines whose copy completed
+
+    @property
+    def backlog(self) -> int:
+        """Delivered-but-uncopied lines (socket-buffer occupancy)."""
+        return self.delivered - self.copied
+
+    def claimable(self) -> bool:
+        """Whether delivered data awaits a copy core."""
+        return self.claimed < self.delivered
+
+    def claim(self) -> int:
+        """Take the next delivered line index for copying."""
+        index = self.claimed
+        self.claimed += 1
+        return index
+
+    def reset_stats(self) -> None:
+        # Counters are monotonic; rates are computed from deltas.
+        pass
+
+
+class CopyWorkload(MemoryWorkload):
+    """Kernel-to-user data copy on one receive core.
+
+    Each copied cacheline is one load from the socket buffer (the
+    lines the NIC just wrote) plus one fast-string store to the
+    application buffer (``rep movsb`` avoids the RFO read for large
+    copies) — the C2M traffic the paper attributes to the copy.
+    ``per_packet_compute_ns`` models protocol processing per MTU-sized
+    packet; the paper notes the network app spends ~50% of its time
+    outside the copy when uncontended [10].
+    """
+
+    def __init__(
+        self,
+        sock: SocketBuffers,
+        src_region: Region,
+        dst_region: Region,
+        mlp: int = 10,
+        mtu_bytes: int = 9000,
+        per_packet_compute_ns: float = 450.0,
+        traffic_class: str = "copy",
+    ):
+        super().__init__(traffic_class)
+        self.sock = sock
+        self.src_region = src_region
+        self.dst_region = dst_region
+        self.mlp = mlp
+        self.lines_per_packet = max(1, mtu_bytes // CACHELINE_BYTES)
+        self.per_packet_compute_ns = per_packet_compute_ns
+        self._outstanding = 0
+        self._loads_inflight: List[int] = []
+        self._ready_stores: List[int] = []
+        self._compute_until = 0.0
+        self._lines_into_packet = 0
+        self.lines_copied = 0
+
+    def try_next(self, now: float) -> Optional[Tuple[int, bool]]:
+        if now < self._compute_until or self._outstanding >= self.mlp:
+            return None
+        if self._ready_stores:
+            # The destination store depends on its source load having
+            # returned data; stores are issued only after that.
+            index = self._ready_stores.pop(0)
+            self._outstanding += 1
+            return self.dst_region.line(index % self.dst_region.n_lines), OP_NT_STORE
+        if self.sock.claimable():
+            index = self.sock.claim()
+            self._outstanding += 1
+            self._loads_inflight.append(index)
+            return self.src_region.line(index % self.src_region.n_lines), OP_LOAD
+        return None  # no data delivered yet; woken by the next kick
+
+    def wake_time(self, now: float) -> Optional[float]:
+        if now < self._compute_until:
+            return self._compute_until
+        return None
+
+    def on_complete(self, now: float, was_store: bool = False) -> None:
+        super().on_complete(now, was_store)
+        self._outstanding -= 1
+        if not was_store:
+            # A load returned; its destination store becomes issueable.
+            # Loads complete near-enough in order for FIFO pairing.
+            if self._loads_inflight:
+                self._ready_stores.append(self._loads_inflight.pop(0))
+            return
+        # A line's copy finishes when its store (the destination write)
+        # completes.
+        if was_store:
+            self.sock.copied += 1
+            self.lines_copied += 1
+            self._lines_into_packet += 1
+            if self._lines_into_packet >= self.lines_per_packet:
+                self._lines_into_packet = 0
+                self._compute_until = (
+                    max(self._compute_until, now) + self.per_packet_compute_ns
+                )
+
+    def reset_stats(self, now: float) -> None:
+        super().reset_stats(now)
+        self.lines_copied = 0
+
+
+class DctcpReceiver:
+    """A DCTCP receive pipeline on a host: NIC + copy cores + sender loop.
+
+    Args:
+        host: the host to attach to (cores must still be available).
+        n_copy_cores: receive cores running the data copy (the paper
+            uses 4, enough to saturate 100 Gb/s uncontended).
+        link_gbps: sender's line rate.
+        rtt_ns: control-loop interval (one RTT).
+        nic_buffer_bytes: lossy NIC receive buffer.
+        sock_capacity_bytes: kernel socket-buffer budget; backlog
+            beyond ~80% engages the receive-window clamp.
+    """
+
+    def __init__(
+        self,
+        host,
+        n_copy_cores: int = 4,
+        link_gbps: float = 100.0,
+        rtt_ns: float = 5_000.0,
+        nic_buffer_bytes: int = 1 << 20,
+        sock_capacity_bytes: int = 512 << 10,
+        mtu_bytes: int = 9000,
+    ):
+        self.host = host
+        self.max_rate = link_gbps / 8.0
+        self.rate = self.max_rate
+        self.rtt_ns = rtt_ns
+        self.sock = SocketBuffers(sock_capacity_bytes)
+        self.nic: Nic = host.add_nic(
+            ingress_rate=self.rate,
+            buffer_bytes=nic_buffer_bytes,
+            pfc_enabled=False,
+            name="nic",
+        )
+        self.copy_workloads: List[CopyWorkload] = []
+        dst_lines = (64 << 20) // CACHELINE_BYTES
+        for i in range(n_copy_cores):
+            workload = CopyWorkload(
+                self.sock,
+                src_region=self.nic.rx.region,
+                dst_region=host.alloc_region(dst_lines),
+                mtu_bytes=mtu_bytes,
+                mlp=16,
+            )
+            # The copy is sequential, so hardware prefetching widens the
+            # effective in-flight window well beyond the demand LFB.
+            host.add_core(workload, name="tcp-copy", lfb_size=16)
+            self.copy_workloads.append(workload)
+        # Track NIC deliveries into the socket accounting.
+        original = self.nic.rx.on_write_posted
+
+        def on_posted(line_addr: int, now: float) -> None:
+            original(line_addr, now)
+            self.sock.delivered += 1
+            self._kick_copy_cores()
+
+        self.nic.rx.on_write_posted = on_posted  # type: ignore[method-assign]
+        self._copy_cores = host.cores[-n_copy_cores:]
+        self._last_dropped = 0
+        self._last_copied = 0
+        self.rate_history: List[float] = []
+        host.sim.schedule(rtt_ns, self._tick)
+
+    def _kick_copy_cores(self) -> None:
+        for core in self._copy_cores:
+            core.kick()
+
+    # ------------------------------------------------------------------
+    # Sender control loop (one step per RTT)
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        # Deltas are clamped at zero: measurement-window resets zero the
+        # underlying counters mid-flight.
+        drops = max(0, self.nic.rx.lines_dropped - self._last_dropped)
+        self._last_dropped = self.nic.rx.lines_dropped
+        copied = sum(w.lines_copied for w in self.copy_workloads)
+        copy_rate = max(0, copied - self._last_copied) * CACHELINE_BYTES / self.rtt_ns
+        self._last_copied = copied
+        if drops > 0:
+            # Congestion response (fluid DCTCP: cut by the marked
+            # fraction; a fixed factor captures the steady state).
+            self.rate *= 0.7
+        else:
+            # Additive increase toward line rate.
+            self.rate = min(self.max_rate, self.rate + 0.05 * self.max_rate)
+        # Receive-window limit: the sender may only keep the free
+        # socket-buffer space in flight per RTT. When the copy lags,
+        # the backlog grows and this clamp tracks the copy rate down
+        # (TCP flow control, no loss) — the blue-regime feedback loop.
+        free_lines = max(0, self.sock.capacity_lines - self.sock.backlog)
+        rwnd_rate = free_lines * CACHELINE_BYTES / self.rtt_ns
+        self.rate = max(min(self.rate, rwnd_rate), 0.02 * self.max_rate)
+        self.rate_history.append(self.rate)
+        self.nic.set_ingress_rate(self.rate)
+        self.host.sim.schedule(self.rtt_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def goodput(self, elapsed_ns: float) -> float:
+        """Application-level receive rate (bytes/ns) over a window."""
+        copied = sum(w.lines_copied for w in self.copy_workloads)
+        return copied * CACHELINE_BYTES / elapsed_ns
+
+    def loss_rate(self) -> float:
+        """Packet-drop fraction at the lossy NIC buffer."""
+        return self.nic.loss_rate()

@@ -1,0 +1,59 @@
+"""RoCE/PFC traffic generators (Appendix C.1).
+
+The paper's RDMA setup: two Cascade Lake servers, ConnectX-5 NICs on a
+100 Gb/s link, RoCE v2 with PFC, traffic from the perftest suite:
+
+* ``ib_write_bw`` — the remote writes into server memory: server-side
+  **P2M writes** at the NIC's ingress rate (~98 Gb/s achieved);
+* ``ib_read_bw`` — the remote reads server memory: server-side
+  **P2M reads** at the egress rate.
+
+PFC makes the source lossless: when host backpressure (IIO credits)
+fills the NIC receive buffer, the NIC pauses the link, and the paper's
+"PFC pause fraction" is the paused share of time (Fig. 22 discussion,
+Fig. 23).
+"""
+
+from __future__ import annotations
+
+from repro.pcie.nic import Nic
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a link rate in Gb/s to bytes/ns (== GB/s)."""
+    if gbps < 0:
+        raise ValueError("rate must be non-negative")
+    return gbps / 8.0
+
+
+def add_rdma_write_traffic(
+    host,
+    rate_gbps: float = 98.0,
+    buffer_bytes: int = 2 << 20,
+    name: str = "nic",
+) -> Nic:
+    """Attach ``ib_write_bw``-style inbound RDMA traffic (P2M writes).
+
+    The NIC generates a slightly lower P2M load than the paper's SSDs
+    (~98 Gb/s vs ~112 Gb/s), which is why the RDMA quadrants show
+    slightly milder degradation (Appendix C.1).
+    """
+    return host.add_nic(
+        ingress_rate=gbps_to_bytes_per_ns(rate_gbps),
+        buffer_bytes=buffer_bytes,
+        pfc_enabled=True,
+        name=name,
+    )
+
+
+def add_rdma_read_traffic(
+    host,
+    rate_gbps: float = 98.0,
+    name: str = "nic",
+) -> Nic:
+    """Attach ``ib_read_bw``-style outbound RDMA traffic (P2M reads)."""
+    return host.add_nic(
+        egress_read_rate=gbps_to_bytes_per_ns(rate_gbps),
+        pfc_enabled=True,
+        name=name,
+    )

@@ -1,0 +1,21 @@
+"""Peripheral interconnect substrate: PCIe link, DMA devices, NVMe, NIC.
+
+PCIe flow control is credit-based (§3, ref. [54]): a device needs a
+credit — backed by an IIO buffer entry — to send a request, and the
+credit is replenished when the IIO frees the entry. DMA writes are
+posted (complete at WPQ admission); DMA reads are non-posted (the
+credit is held until data returns).
+"""
+
+from repro.pcie.link import PcieLink
+from repro.pcie.device import DmaDevice, SequentialDmaWorkload
+from repro.pcie.nvme import NvmeDevice
+from repro.pcie.nic import Nic
+
+__all__ = [
+    "PcieLink",
+    "DmaDevice",
+    "SequentialDmaWorkload",
+    "NvmeDevice",
+    "Nic",
+]

@@ -1,0 +1,247 @@
+"""Generic DMA engine behind a PCIe link.
+
+A :class:`DmaDevice` drives the P2M datapaths of §3:
+
+* DMA **writes** (storage reads / NIC receive): the device allocates an
+  IIO write-buffer entry (PCIe credit) at initiation, serializes the
+  cacheline upstream, and the credit is replenished at WPQ admission —
+  posted semantics, the P2M-Write domain.
+* DMA **reads** (storage writes / NIC transmit): non-posted; the IIO
+  read-buffer entry is held until data returns from DRAM and the
+  completion is issued back over the link — the P2M-Read domain.
+
+The device paces itself at ``device_rate`` (its internal media/engine
+speed), independent of the link bandwidth; both limits apply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.controller import MemoryController
+from repro.dram.region import Region
+from repro.pcie.link import PcieLink
+from repro.sim.engine import Simulator
+from repro.sim.records import CACHELINE_BYTES, Request, RequestKind, RequestSource
+from repro.telemetry.counters import CounterHub
+from repro.uncore.iio import IIO
+
+
+class DmaWorkload:
+    """Protocol for device-side demand (subclassed by NVMe/NIC models)."""
+
+    def next_write(self, now: float) -> Optional[int]:
+        """Next line address to DMA-write, or None if none pending."""
+        return None
+
+    def next_read(self, now: float) -> Optional[int]:
+        """Next line address to DMA-read, or None if none pending."""
+        return None
+
+    def wake_time(self, now: float) -> Optional[float]:
+        """Absolute retry time after both ``next_*`` returned None."""
+        return None
+
+    def on_write_posted(self, line_addr: int, now: float) -> None:
+        """The DMA write was admitted to the WPQ (or served by DDIO)."""
+
+    def on_read_data(self, line_addr: int, now: float) -> None:
+        """Read-completion data arrived back at the device."""
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window."""
+
+
+class SequentialDmaWorkload(DmaWorkload):
+    """Infinite sequential DMA over a ring buffer — the paper's
+    P2M-Write / P2M-Read microbenchmark traffic (§2.2)."""
+
+    def __init__(self, region: Region, kind: RequestKind):
+        self.region = region
+        self.kind = kind
+        self._pos = 0
+        self.lines_done = 0
+
+    def _next(self) -> int:
+        addr = self.region.line(self._pos)
+        self._pos += 1
+        if self._pos >= self.region.n_lines:
+            self._pos = 0
+        return addr
+
+    def next_write(self, now: float) -> Optional[int]:
+        if self.kind is not RequestKind.WRITE:
+            return None
+        return self._next()
+
+    def next_read(self, now: float) -> Optional[int]:
+        if self.kind is not RequestKind.READ:
+            return None
+        return self._next()
+
+    def on_write_posted(self, line_addr: int, now: float) -> None:
+        self.lines_done += 1
+
+    def on_read_data(self, line_addr: int, now: float) -> None:
+        self.lines_done += 1
+
+    def reset_stats(self, now: float) -> None:
+        self.lines_done = 0
+
+
+class DmaDevice:
+    """DMA engine: paces line transfers through credits and the link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hub: CounterHub,
+        iio: IIO,
+        link: PcieLink,
+        mc: MemoryController,
+        workload: DmaWorkload,
+        device_rate: Optional[float] = None,
+        t_host_return: float = 55.0,
+        traffic_class: str = "p2m",
+    ):
+        self._sim = sim
+        self._hub = hub
+        self._iio = iio
+        self._link = link
+        self._mc = mc
+        self.workload = workload
+        self.device_rate = device_rate
+        self.t_host_return = t_host_return
+        self.traffic_class = traffic_class
+        self._next_write_slot = 0.0
+        self._next_read_slot = 0.0
+        self._pump_event = None
+        self.writes_posted = 0
+        self.reads_completed = 0
+        iio.add_credit_waiter(self._pump_now)
+
+    def start(self) -> None:
+        """Begin pumping DMA at the current simulation time."""
+        self._pump_now()
+
+    # ------------------------------------------------------------------
+    # Pumping
+    # ------------------------------------------------------------------
+
+    def _pump_now(self) -> None:
+        self._pump()
+
+    def _schedule_pump(self, at: float) -> None:
+        at = max(at, self._sim.now)
+        event = self._pump_event
+        if event is not None and not event.cancelled and event.time <= at:
+            return
+        if event is not None:
+            event.cancel()
+        self._pump_event = self._sim.schedule_at(at, self._on_pump_event)
+
+    def _on_pump_event(self) -> None:
+        self._pump_event = None
+        self._pump()
+
+    def _pump(self) -> None:
+        next_at = min(
+            self._pump_writes(),
+            self._pump_reads(),
+        )
+        if next_at != float("inf"):
+            self._schedule_pump(next_at)
+
+    def _pace(self) -> float:
+        if self.device_rate is None:
+            return 0.0
+        return CACHELINE_BYTES / self.device_rate
+
+    def _pump_writes(self) -> float:
+        """Send pending DMA writes; returns the next retry time."""
+        now = self._sim.now
+        while True:
+            if not self._iio.has_credit(RequestKind.WRITE):
+                return float("inf")  # credit waiter re-pumps
+            start = max(now, self._next_write_slot, self._link.upstream_next_free())
+            if start > now:
+                return start
+            addr = self.workload.next_write(now)
+            if addr is None:
+                wake = self.workload.wake_time(now)
+                return wake if wake is not None else float("inf")
+            req = Request(
+                RequestSource.P2M,
+                RequestKind.WRITE,
+                addr,
+                traffic_class=self.traffic_class,
+            )
+            self._iio.alloc(req)
+            self._mc.assign(req)
+            req.on_complete = self._on_write_posted
+            arrival = self._link.send_upstream(CACHELINE_BYTES)
+            self._next_write_slot = start + self._pace()
+            self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
+
+    def _pump_reads(self) -> float:
+        now = self._sim.now
+        while True:
+            if not self._iio.has_credit(RequestKind.READ):
+                return float("inf")
+            start = max(now, self._next_read_slot)
+            if start > now:
+                return start
+            addr = self.workload.next_read(now)
+            if addr is None:
+                wake = self.workload.wake_time(now)
+                return wake if wake is not None else float("inf")
+            req = Request(
+                RequestSource.P2M,
+                RequestKind.READ,
+                addr,
+                traffic_class=self.traffic_class,
+            )
+            self._iio.alloc(req)
+            self._mc.assign(req)
+            req.on_complete = self._on_read_serviced
+            self._next_read_slot = start + self._pace()
+            # Read requests are small TLPs: propagation only.
+            self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+
+    def _on_write_posted(self, req: Request) -> None:
+        self.writes_posted += 1
+        # Update workload state before releasing the credit: the release
+        # synchronously re-pumps credit waiters, which must observe the
+        # post-completion demand (e.g. the next queued IO).
+        self.workload.on_write_posted(req.line_addr, self._sim.now)
+        self._iio.release(req)
+
+    def _on_read_serviced(self, req: Request) -> None:
+        """Read data left the memory channel; traverse back to the IIO."""
+        self._sim.schedule(self.t_host_return, self._on_read_at_iio, req)
+
+    def _on_read_at_iio(self, req: Request) -> None:
+        serialized_at, device_arrival = self._link.send_downstream(CACHELINE_BYTES)
+        self._sim.schedule_at(serialized_at, self._finish_read_credit, req)
+        self._sim.schedule_at(device_arrival, self._finish_read_data, req)
+
+    def _finish_read_credit(self, req: Request) -> None:
+        """Completion issued: the non-posted credit is replenished."""
+        self._iio.release(req)
+
+    def _finish_read_data(self, req: Request) -> None:
+        self.reads_completed += 1
+        self.workload.on_read_data(req.line_addr, self._sim.now)
+        self._pump()
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window (device + workload)."""
+        self.writes_posted = 0
+        self.reads_completed = 0
+        self.workload.reset_stats(now)

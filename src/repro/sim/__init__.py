@@ -1,0 +1,18 @@
+"""Discrete-event simulation engine for the host-network simulator.
+
+The engine is deliberately minimal: a heap-ordered event loop with a
+nanosecond-resolution clock. Every component of the host network
+(cores, CHA, memory controller, IIO, PCIe devices) schedules callbacks
+on a shared :class:`Simulator` instance.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.records import Request, RequestKind, RequestSource
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Request",
+    "RequestKind",
+    "RequestSource",
+]

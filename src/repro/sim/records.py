@@ -1,0 +1,139 @@
+"""Request records that flow through the simulated host network.
+
+A :class:`Request` represents a single cacheline (64 B) transfer. Its
+timestamp fields are filled in as it traverses the host network and are
+the raw material for all domain-latency measurements (§4.2 of the
+paper): every latency the paper derives from uncore counters via
+Little's law can be cross-checked here against direct per-request
+timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+CACHELINE_BYTES = 64
+
+
+class RequestSource(enum.Enum):
+    """Who generated the request: a core (C2M) or a peripheral (P2M)."""
+
+    C2M = "c2m"
+    P2M = "p2m"
+
+
+class RequestKind(enum.Enum):
+    """Memory-level direction of the request.
+
+    ``READ`` moves data from DRAM toward the requester; ``WRITE``
+    moves data toward DRAM. Note the inversion for storage/network
+    workloads: a storage *read* generates memory *writes* (DMA into
+    host memory) and vice versa (§2.2).
+    """
+
+    READ = "read"
+    WRITE = "write"
+
+
+class Request:
+    """A single cacheline request traversing the host network.
+
+    Attributes:
+        source: C2M (from a core) or P2M (from a peripheral device).
+        kind: READ or WRITE at the memory level.
+        line_addr: cacheline-granularity physical address (integer).
+        requester_id: index of the issuing core or device.
+        traffic_class: free-form label used by telemetry to group
+            requests (e.g. ``"c2m"``, ``"p2m"``, ``"copy"``).
+
+    Timestamps (ns, ``None`` until reached):
+        t_alloc: domain credit allocated (LFB entry / IIO entry).
+        t_cha_admit: admitted into the CHA.
+        t_queue_admit: admitted into the MC RPQ/WPQ.
+        t_service: data transferred on the memory channel.
+        t_free: domain credit replenished (end of domain latency).
+    """
+
+    __slots__ = (
+        "source",
+        "kind",
+        "line_addr",
+        "requester_id",
+        "traffic_class",
+        "t_alloc",
+        "t_cha_admit",
+        "t_queue_admit",
+        "t_service",
+        "t_free",
+        "channel_id",
+        "bank_id",
+        "row_id",
+        "row_outcome",
+        "on_complete",
+        "on_serviced",
+        "on_cha_admit",
+        "tag",
+        "queue_seq",
+    )
+
+    def __init__(
+        self,
+        source: RequestSource,
+        kind: RequestKind,
+        line_addr: int,
+        requester_id: int = 0,
+        traffic_class: Optional[str] = None,
+    ):
+        self.source = source
+        self.kind = kind
+        self.line_addr = line_addr
+        self.requester_id = requester_id
+        self.traffic_class = traffic_class or source.value
+        self.t_alloc: Optional[float] = None
+        self.t_cha_admit: Optional[float] = None
+        self.t_queue_admit: Optional[float] = None
+        self.t_service: Optional[float] = None
+        self.t_free: Optional[float] = None
+        # Filled in by the DRAM address mapper / banks.
+        self.channel_id: int = -1
+        self.bank_id: int = -1
+        self.row_id: int = -1
+        self.row_outcome: Optional[str] = None  # "hit" | "miss" | "conflict"
+        # Optional completion callback (set by the endpoint that issued it):
+        # invoked at data transmission for reads, at WPQ admission for writes.
+        self.on_complete = None
+        # Optional service hook (set by the CHA): invoked when a read's data
+        # leaves the memory channel, used for in-flight tracking.
+        self.on_serviced = None
+        # Optional admission hook: invoked when the CHA admits the request.
+        # Cores use it to end the C2M-Write domain (LFB -> CHA).
+        self.on_cha_admit = None
+        # Free-form payload for the issuing endpoint (e.g. the RFO read
+        # a writeback belongs to). Never inspected by the fabric.
+        self.tag = None
+        # Monotonic admission order within the MC queue (scheduler age).
+        self.queue_seq = 0
+
+    @property
+    def is_read(self) -> bool:
+        """True for memory-level reads."""
+        return self.kind is RequestKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """True for memory-level writes."""
+        return self.kind is RequestKind.WRITE
+
+    @property
+    def domain_latency(self) -> Optional[float]:
+        """Credit hold time: allocation to replenishment (ns)."""
+        if self.t_alloc is None or self.t_free is None:
+            return None
+        return self.t_free - self.t_alloc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request({self.source.value}-{self.kind.value}, "
+            f"line={self.line_addr:#x}, cls={self.traffic_class})"
+        )

@@ -1,0 +1,31 @@
+"""Measurement methodology from §4.2 of the paper.
+
+The paper programs Intel uncore performance counters to aggregate
+queue/buffer occupancy every clock cycle and samples them in software,
+then derives average latency with Little's law (``L = O / R``). This
+package provides the simulated equivalent: time-weighted occupancy
+integrals, arrival/completion counters, windowed samplers, and
+per-bank load statistics (bank-deviation CDF of Fig. 7d).
+"""
+
+from repro.telemetry.counters import (
+    ClassStats,
+    CounterHub,
+    LatencyStat,
+    OccupancyCounter,
+    RateCounter,
+)
+from repro.telemetry.littleslaw import littles_law_latency, littles_law_occupancy
+from repro.telemetry.bankstats import BankLoadSampler, bank_deviation_cdf
+
+__all__ = [
+    "ClassStats",
+    "CounterHub",
+    "LatencyStat",
+    "OccupancyCounter",
+    "RateCounter",
+    "littles_law_latency",
+    "littles_law_occupancy",
+    "BankLoadSampler",
+    "bank_deviation_cdf",
+]

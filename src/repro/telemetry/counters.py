@@ -1,0 +1,250 @@
+"""Simulated uncore performance counters.
+
+Each counter mirrors a capability of the Intel uncore PMU that the
+paper relies on (§4.2):
+
+* :class:`OccupancyCounter` — per-cycle occupancy aggregation for a
+  queue or buffer (RPQ, WPQ, LFB, IIO buffers, CHA pools).
+* :class:`RateCounter` — request arrival counting with umask-style
+  classification by traffic class.
+* :class:`LatencyStat` — direct per-request latency accumulation. Real
+  hardware cannot observe this; the simulator can, which lets the test
+  suite validate the paper's Little's-law methodology against ground
+  truth.
+* :class:`CounterHub` — registry + reset for a measurement window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class OccupancyCounter:
+    """Time-weighted occupancy integral for a queue or buffer.
+
+    ``update`` must be called with the simulation time *before* the
+    occupancy changes. The average occupancy over a window is
+    ``integral / elapsed`` which is exactly what the hardware's
+    per-cycle aggregation computes.
+
+    Also tracks the fraction of time the tracked resource sits at a
+    given capacity (used for the "fraction of time WPQ is full"
+    measurements of Figs. 7f / 8e).
+    """
+
+    __slots__ = (
+        "capacity",
+        "value",
+        "_integral",
+        "_full_time",
+        "_last_t",
+        "_window_start",
+        "max_seen",
+    )
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.value = 0
+        self._integral = 0.0
+        self._full_time = 0.0
+        self._last_t = 0.0
+        self._window_start = 0.0
+        self.max_seen = 0
+
+    def update(self, now: float, delta: int) -> None:
+        """Apply ``delta`` to the occupancy at time ``now``."""
+        self._accumulate(now)
+        self.value += delta
+        if self.value < 0:
+            raise ValueError("occupancy went negative; accounting bug")
+        if self.capacity is not None and self.value > self.capacity:
+            raise ValueError(
+                f"occupancy {self.value} exceeds capacity {self.capacity}"
+            )
+        if self.value > self.max_seen:
+            self.max_seen = self.value
+
+    def _accumulate(self, now: float) -> None:
+        dt = now - self._last_t
+        if dt > 0:
+            self._integral += self.value * dt
+            if self.capacity is not None and self.value >= self.capacity:
+                self._full_time += dt
+            self._last_t = now
+
+    def reset(self, now: float) -> None:
+        """Start a fresh measurement window at ``now`` (occupancy kept)."""
+        self._integral = 0.0
+        self._full_time = 0.0
+        self._last_t = now
+        self._window_start = now
+        self.max_seen = self.value
+
+    def average(self, now: float) -> float:
+        """Average occupancy over the current window."""
+        self._accumulate(now)
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return float(self.value)
+        return self._integral / elapsed
+
+    def full_fraction(self, now: float) -> float:
+        """Fraction of the window during which the resource was full."""
+        if self.capacity is None:
+            return 0.0
+        self._accumulate(now)
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self._full_time / elapsed
+
+
+class RateCounter:
+    """Event counter with arrival-rate derivation over a window."""
+
+    __slots__ = ("count", "_window_start")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._window_start = 0.0
+
+    def increment(self, n: int = 1) -> None:
+        """Count ``n`` events."""
+        self.count += n
+
+    def reset(self, now: float) -> None:
+        """Start a fresh window."""
+        self.count = 0
+        self._window_start = now
+
+    def rate(self, now: float) -> float:
+        """Arrivals per nanosecond over the current window."""
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed
+
+
+class LatencyStat:
+    """Direct latency accumulation (sum + count + max)."""
+
+    __slots__ = ("total", "count", "max_seen")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.max_seen = 0.0
+
+    def record(self, latency: float) -> None:
+        """Accumulate one latency sample."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.total += latency
+        self.count += 1
+        if latency > self.max_seen:
+            self.max_seen = latency
+
+    def reset(self, now: float = 0.0) -> None:
+        """Discard accumulated samples."""
+        self.total = 0.0
+        self.count = 0
+        self.max_seen = 0.0
+
+    @property
+    def average(self) -> float:
+        """Mean of recorded samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class ClassStats:
+    """Per-traffic-class bundle: arrivals, completions, latency.
+
+    Mirrors the paper's use of CHA umask/opcode filtering to classify
+    requests by source (CPU/peripheral) and type (read/write).
+    """
+
+    __slots__ = ("arrivals", "completions", "latency")
+
+    def __init__(self) -> None:
+        self.arrivals = RateCounter()
+        self.completions = RateCounter()
+        self.latency = LatencyStat()
+
+    def reset(self, now: float) -> None:
+        """Start a fresh window for every sub-counter."""
+        self.arrivals.reset(now)
+        self.completions.reset(now)
+        self.latency.reset(now)
+
+
+class CounterHub:
+    """Registry of all counters in a host, reset as one unit.
+
+    The experiment runner resets the hub after warmup so every derived
+    metric covers exactly the measurement window.
+    """
+
+    def __init__(self) -> None:
+        self._occupancy: Dict[str, OccupancyCounter] = {}
+        self._rates: Dict[str, RateCounter] = {}
+        self._latencies: Dict[str, LatencyStat] = {}
+        self._classes: Dict[str, ClassStats] = {}
+        self._window_start = 0.0
+
+    @property
+    def window_start(self) -> float:
+        """When the current measurement window began."""
+        return self._window_start
+
+    def occupancy(self, name: str, capacity: Optional[int] = None) -> OccupancyCounter:
+        """Get-or-create the named occupancy counter."""
+        counter = self._occupancy.get(name)
+        if counter is None:
+            counter = OccupancyCounter(capacity)
+            self._occupancy[name] = counter
+        return counter
+
+    def rate(self, name: str) -> RateCounter:
+        """Get-or-create the named rate counter."""
+        counter = self._rates.get(name)
+        if counter is None:
+            counter = RateCounter()
+            self._rates[name] = counter
+        return counter
+
+    def latency(self, name: str) -> LatencyStat:
+        """Get-or-create the named latency stat."""
+        stat = self._latencies.get(name)
+        if stat is None:
+            stat = LatencyStat()
+            self._latencies[name] = stat
+        return stat
+
+    def traffic_class(self, name: str) -> ClassStats:
+        """Get-or-create the per-class counter bundle."""
+        stats = self._classes.get(name)
+        if stats is None:
+            stats = ClassStats()
+            self._classes[name] = stats
+        return stats
+
+    def names(self) -> Iterable[str]:
+        """All registered counter names."""
+        yield from self._occupancy
+        yield from self._rates
+        yield from self._latencies
+        yield from self._classes
+
+    def reset(self, now: float) -> None:
+        """Start a fresh measurement window for every counter."""
+        self._window_start = now
+        for counter in self._occupancy.values():
+            counter.reset(now)
+        for counter in self._rates.values():
+            counter.reset(now)
+        for stat in self._latencies.values():
+            stat.reset(now)
+        for stats in self._classes.values():
+            stats.reset(now)

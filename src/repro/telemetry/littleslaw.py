@@ -1,0 +1,35 @@
+"""Little's-law helpers (``L = O / R``), the paper's §4.2 methodology.
+
+The paper cannot observe per-request latency on real hardware, so it
+derives average latency from average occupancy ``O`` and arrival rate
+``R``. The simulator *can* observe per-request latency, which makes
+these helpers both a reproduction of the methodology and a target for
+consistency tests (Little's-law estimates must agree with direct
+timestamps in steady state).
+"""
+
+from __future__ import annotations
+
+
+def littles_law_latency(avg_occupancy: float, rate_per_ns: float) -> float:
+    """Average latency (ns) from average occupancy and arrival rate.
+
+    Args:
+        avg_occupancy: time-averaged number of in-flight requests.
+        rate_per_ns: request arrival (== completion, in steady state)
+            rate in requests per nanosecond.
+
+    Returns:
+        Average latency in nanoseconds; 0.0 when the rate is zero
+        (an idle system has no meaningful latency sample).
+    """
+    if rate_per_ns <= 0:
+        return 0.0
+    return avg_occupancy / rate_per_ns
+
+
+def littles_law_occupancy(latency_ns: float, rate_per_ns: float) -> float:
+    """Average occupancy implied by a latency and an arrival rate."""
+    if latency_ns < 0 or rate_per_ns < 0:
+        raise ValueError("latency and rate must be non-negative")
+    return latency_ns * rate_per_ns

@@ -1,0 +1,9 @@
+"""Host assembly: wire cores, CHA, LLC, MC, IIO, and PCIe devices into
+a runnable host (Fig. 4), with configuration presets for the paper's
+two testbeds (Table 1).
+"""
+
+from repro.topology.host import Host, RunResult
+from repro.topology.presets import HostConfig, cascade_lake, ice_lake
+
+__all__ = ["Host", "RunResult", "HostConfig", "cascade_lake", "ice_lake"]

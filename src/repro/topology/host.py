@@ -1,0 +1,512 @@
+"""Host assembly and measurement runs.
+
+:class:`Host` wires the substrates into the architecture of Fig. 4 —
+cores (LFB) → CHA (LLC) → MC (banks/channels) plus IIO ← PCIe ←
+devices — runs warmup + measurement windows, and returns a
+:class:`RunResult` with every metric the paper derives from uncore
+counters, plus ground-truth per-request latencies the real hardware
+cannot observe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.workloads import MemoryWorkload, SequentialStreamWorkload
+from repro.dram.controller import MemoryController
+from repro.dram.region import ContiguousRegion, PagedRegion, Region
+from repro.pcie.device import DmaDevice, SequentialDmaWorkload
+from repro.pcie.link import PcieLink
+from repro.pcie.nic import Nic
+from repro.pcie.nvme import NvmeDevice
+from repro.sim.engine import Simulator
+from repro.sim.records import CACHELINE_BYTES, RequestKind
+from repro.telemetry.counters import CounterHub
+from repro.topology.presets import HostConfig
+from repro.uncore.cha import CHA
+from repro.uncore.iio import IIO
+from repro.uncore.llc import LastLevelCache
+
+
+@dataclass
+class RunResult:
+    """Measurements from one window, keyed the way the paper reports them."""
+
+    config: HostConfig
+    elapsed_ns: float
+    #: achieved memory bandwidth, bytes/ns (== GB/s), total and per class
+    mem_bw_total: float
+    mem_bw_by_class: Dict[str, float]
+    #: per-class DRAM line counts
+    lines_read_by_class: Dict[str, int]
+    lines_written_by_class: Dict[str, int]
+    #: average domain latencies (direct per-request measurement), by
+    #: "<domain>.<traffic class>", e.g. "c2m_read.c2m"
+    domain_latency: Dict[str, float]
+    #: Little's-law cross-checks and occupancies
+    lfb_avg_occupancy: Dict[str, float]
+    iio_write_avg_occupancy: float
+    iio_read_avg_occupancy: float
+    iio_write_max_occupancy: int
+    #: CHA metrics
+    cha_admission_delay: Dict[str, float]
+    cha_write_waiting_avg: float
+    cha_pool_avg: float
+    cha_inflight_p2m_reads_avg: float
+    #: MC metrics (aggregated over channels)
+    rpq_avg_occupancy: float
+    wpq_avg_occupancy: float
+    wpq_full_fraction: float
+    lines_read: int
+    lines_written: int
+    switches_wtr: int
+    switches_rtw: int
+    act_read: int
+    act_write: int
+    pre_conflict_read: int
+    pre_conflict_write: int
+    row_miss_ratio: Dict[str, float]
+    bank_deviations: List[float]
+    #: app-level metrics
+    workload_ops: Dict[str, int]
+    device_lines: Dict[str, int]
+    device_ios: Dict[str, int]
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------- derived helpers -------------------------
+
+    @property
+    def mem_bw_utilization(self) -> float:
+        """Fraction of the theoretical memory bandwidth in use."""
+        return self.mem_bw_total / self.config.theoretical_mem_bandwidth
+
+    def class_bandwidth(self, traffic_class: str) -> float:
+        """Memory bandwidth of one traffic class (bytes/ns == GB/s)."""
+        return self.mem_bw_by_class.get(traffic_class, 0.0)
+
+    def class_read_rate(self, traffic_class: str) -> float:
+        """DRAM read lines per ns for a traffic class."""
+        return self.lines_read_by_class.get(traffic_class, 0) / self.elapsed_ns
+
+    def class_write_rate(self, traffic_class: str) -> float:
+        """DRAM write lines per ns for a traffic class."""
+        return self.lines_written_by_class.get(traffic_class, 0) / self.elapsed_ns
+
+    def latency(self, domain: str, traffic_class: str = "c2m") -> float:
+        """Average domain latency, e.g. ``latency("c2m_read")``."""
+        return self.domain_latency.get(f"{domain}.{traffic_class}", 0.0)
+
+    def ops_rate(self, workload_name: str) -> float:
+        """Completed workload operations per ns."""
+        return self.workload_ops.get(workload_name, 0) / self.elapsed_ns
+
+    def device_bandwidth(self, device_name: str) -> float:
+        """Device data rate in bytes/ns (== GB/s)."""
+        return self.device_lines.get(device_name, 0) * CACHELINE_BYTES / self.elapsed_ns
+
+    def switches(self) -> int:
+        """Total read/write mode transitions over the window."""
+        return self.switches_wtr + self.switches_rtw
+
+
+class Host:
+    """A single-socket host built from a :class:`HostConfig`.
+
+    Typical use::
+
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=0.0)       # C2M-Read
+        host.add_nvme(kind=RequestKind.WRITE)              # P2M-Write
+        result = host.run(warmup_ns=20_000, measure_ns=80_000)
+    """
+
+    #: generous guard gap between allocated regions (lines)
+    _REGION_GUARD = 1 << 20
+
+    def __init__(self, config: HostConfig, seed: int = 1):
+        self.config = config
+        self.sim = Simulator()
+        self.hub = CounterHub()
+        self._rng = random.Random(seed)
+        self._region_cursor = 0
+        self.mc = MemoryController(
+            self.sim,
+            self.hub,
+            timing=config.dram_timing,
+            n_channels=config.n_channels,
+            n_banks=config.n_banks,
+            lines_per_row=config.lines_per_row,
+            rpq_size=config.rpq_size,
+            wpq_size=config.wpq_size,
+            wpq_hi_fraction=config.wpq_hi_fraction,
+            wpq_lo_fraction=config.wpq_lo_fraction,
+            min_write_drain=config.min_write_drain,
+            min_read_batch=config.min_read_batch,
+            p2m_write_priority=config.p2m_write_priority,
+            xor_bank_hash=config.xor_bank_hash,
+            bank_sample_every=config.bank_sample_every,
+        )
+        self.llc: Optional[LastLevelCache] = None
+        if config.llc_mode == "full":
+            self.llc = LastLevelCache(
+                config.llc_size_bytes, config.llc_ways, config.ddio_ways
+            )
+            if config.ddio_enabled:
+                # Steady state: the DDIO ways are already full of
+                # dirty DMA lines (see LastLevelCache.prewarm_ddio).
+                self.llc.prewarm_ddio(base_line=1 << 40)
+        elif config.llc_mode != "bypass":
+            raise ValueError(f"unknown llc_mode {config.llc_mode!r}")
+        self.cha = CHA(
+            self.sim,
+            self.hub,
+            self.mc,
+            write_capacity=config.cha_write_capacity,
+            read_capacity=config.cha_read_capacity,
+            t_cha_to_mc=config.t_cha_to_mc,
+            t_llc_hit=config.t_llc_hit,
+            llc=self.llc,
+            ddio_enabled=config.ddio_enabled,
+        )
+        self.iio = IIO(
+            self.sim,
+            self.hub,
+            write_entries=config.iio_write_entries,
+            read_entries=config.iio_read_entries,
+            t_iio_to_cha=config.t_iio_to_cha,
+        )
+        self.iio.cha_admission = self.cha.request_admission
+        self.link = PcieLink(
+            self.sim,
+            bandwidth_bytes_per_ns=config.pcie_bandwidth,
+            t_prop=config.pcie_t_prop,
+        )
+        self.cores: List[Core] = []
+        self.devices: Dict[str, DmaDevice] = {}
+        self._workloads: Dict[str, List[MemoryWorkload]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def alloc_region(self, lines: int) -> Region:
+        """Allocate a private buffer (cacheline granularity).
+
+        With ``config.page_scatter`` (the default, matching ordinary
+        4 KB paging) the buffer is backed by pseudo-randomly placed
+        page frames; otherwise it is physically contiguous with a
+        pseudo-random sub-row offset so bank walks still decorrelate.
+        """
+        if self.config.page_scatter:
+            page_lines = self.config.page_size_bytes // CACHELINE_BYTES
+            return PagedRegion(
+                lines, page_lines=page_lines, seed=self._rng.randrange(1 << 30)
+            )
+        span = self.config.lines_per_row * self.config.n_banks * self.config.n_channels
+        offset = self._rng.randrange(span)
+        start = self._region_cursor + offset
+        self._region_cursor = start + lines + self._REGION_GUARD
+        return ContiguousRegion(start, lines)
+
+    def add_core(
+        self,
+        workload: MemoryWorkload,
+        name: Optional[str] = None,
+        lfb_size: Optional[int] = None,
+    ) -> Core:
+        """Attach one core running ``workload``.
+
+        ``lfb_size`` overrides the per-core in-flight capacity, e.g.
+        for sequential kernels whose hardware prefetching effectively
+        widens it (the data copy of the DCTCP receive path).
+        """
+        core = Core(
+            self.sim,
+            self.hub,
+            core_id=len(self.cores),
+            mc=self.mc,
+            cha_admission=self.cha.request_admission,
+            workload=workload,
+            lfb_size=lfb_size or self.config.effective_lfb_size,
+            t_core_to_cha=self.config.t_core_to_cha,
+            t_data_return=self.config.t_data_return,
+        )
+        self.cores.append(core)
+        key = name or workload.traffic_class
+        self._workloads.setdefault(key, []).append(workload)
+        return core
+
+    def add_stream_cores(
+        self,
+        n_cores: int,
+        store_fraction: float = 0.0,
+        traffic_class: str = "c2m",
+        region_bytes: int = 1 << 30,
+    ) -> List[Core]:
+        """Attach ``n_cores`` STREAM-style cores (§2.2 C2M workloads)."""
+        cores = []
+        region_lines = region_bytes // CACHELINE_BYTES
+        for _ in range(n_cores):
+            workload = SequentialStreamWorkload(
+                self.alloc_region(region_lines),
+                store_fraction=store_fraction,
+                traffic_class=traffic_class,
+            )
+            cores.append(self.add_core(workload))
+        return cores
+
+    def add_nvme(
+        self,
+        kind: RequestKind = RequestKind.WRITE,
+        io_size_bytes: int = 8 << 20,
+        queue_depth: int = 8,
+        device_rate: Optional[float] = None,
+        t_io_gap: float = 0.0,
+        region_bytes: int = 4 << 30,
+        name: str = "nvme",
+        traffic_class: str = "p2m",
+    ) -> NvmeDevice:
+        """Attach an NVMe device (aggregate of the testbed's SSDs).
+
+        ``kind`` is the *memory-level* direction: WRITE models storage
+        reads (FIO read test), READ models storage writes.
+        """
+        region_lines = region_bytes // CACHELINE_BYTES
+        device = NvmeDevice(
+            self.sim,
+            self.hub,
+            self.iio,
+            self.link,
+            self.mc,
+            region=self.alloc_region(region_lines),
+            io_size_bytes=io_size_bytes,
+            queue_depth=queue_depth,
+            kind=kind,
+            device_rate=(
+                device_rate if device_rate is not None else self.config.device_rate
+            ),
+            t_io_gap=t_io_gap,
+            traffic_class=traffic_class,
+        )
+        device.t_host_return = self.config.t_iio_to_cha + self.config.t_cha_to_mc
+        self.devices[name] = device
+        return device
+
+    def add_raw_dma(
+        self,
+        kind: RequestKind,
+        device_rate: Optional[float] = None,
+        region_bytes: int = 4 << 30,
+        name: str = "dma",
+        traffic_class: str = "p2m",
+    ) -> DmaDevice:
+        """Attach an open-loop sequential DMA generator (§2.2 P2M)."""
+        region_lines = region_bytes // CACHELINE_BYTES
+        workload = SequentialDmaWorkload(self.alloc_region(region_lines), kind)
+        device = DmaDevice(
+            self.sim,
+            self.hub,
+            self.iio,
+            self.link,
+            self.mc,
+            workload,
+            device_rate=(
+                device_rate if device_rate is not None else self.config.device_rate
+            ),
+            t_host_return=self.config.t_iio_to_cha + self.config.t_cha_to_mc,
+            traffic_class=traffic_class,
+        )
+        self.devices[name] = device
+        return device
+
+    def add_nic(
+        self,
+        ingress_rate: float = 0.0,
+        egress_read_rate: float = 0.0,
+        buffer_bytes: int = 2 << 20,
+        pfc_enabled: bool = True,
+        region_bytes: int = 4 << 30,
+        name: str = "nic",
+        traffic_class: str = "p2m",
+    ) -> Nic:
+        """Attach a NIC (RDMA / DCTCP case studies)."""
+        region_lines = region_bytes // CACHELINE_BYTES
+        nic = Nic(
+            self.sim,
+            self.hub,
+            self.iio,
+            self.link,
+            self.mc,
+            region=self.alloc_region(region_lines),
+            ingress_rate=ingress_rate,
+            egress_read_rate=egress_read_rate,
+            buffer_bytes=buffer_bytes,
+            pfc_enabled=pfc_enabled,
+            traffic_class=traffic_class,
+        )
+        nic.t_host_return = self.config.t_iio_to_cha + self.config.t_cha_to_mc
+        self.devices[name] = nic
+        return nic
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all cores and devices (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for core in self.cores:
+            core.start()
+        for device in self.devices.values():
+            device.start()
+
+    def reset_measurement(self) -> None:
+        """Start a fresh measurement window at the current time."""
+        now = self.sim.now
+        self.hub.reset(now)
+        self.mc.reset_stats(now)
+        for core in self.cores:
+            core.reset_stats(now)
+        for device in self.devices.values():
+            device.reset_stats(now)
+        if self.llc is not None:
+            self.llc.reset_stats()
+        self.link.reset_stats(now)
+
+    def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 80_000.0) -> RunResult:
+        """Warm up, measure, and collect results."""
+        self.start()
+        if warmup_ns > 0:
+            self.sim.run_until(self.sim.now + warmup_ns)
+        self.reset_measurement()
+        t_start = self.sim.now
+        self.sim.run_until(t_start + measure_ns)
+        return self.collect(self.sim.now - t_start)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self, elapsed_ns: float) -> RunResult:
+        """Snapshot every metric of the current window into a RunResult."""
+        now = self.sim.now
+        mc = self.mc
+        classes = set()
+        for channel in mc.channels:
+            classes.update(channel.stats.class_lines_read)
+            classes.update(channel.stats.class_lines_written)
+        mem_bw_by_class = {
+            tc: mc.class_bandwidth_bytes_per_ns(tc, elapsed_ns) for tc in classes
+        }
+        lines_read_by_class = {
+            tc: mc.class_lines(tc, RequestKind.READ) for tc in classes
+        }
+        lines_written_by_class = {
+            tc: mc.class_lines(tc, RequestKind.WRITE) for tc in classes
+        }
+
+        domain_latency: Dict[str, float] = {}
+        cha_admission: Dict[str, float] = {}
+        for name, stat in self.hub._latencies.items():
+            if stat.count == 0:
+                continue
+            if name.startswith("domain."):
+                domain_latency[name[len("domain.") :]] = stat.average
+            elif name.startswith("lfb.total."):
+                domain_latency["lfb_total." + name[len("lfb.total.") :]] = stat.average
+            elif name.startswith("cha_to_dram_read."):
+                domain_latency[
+                    "cha_dram_read." + name[len("cha_to_dram_read.") :]
+                ] = stat.average
+            elif name.startswith("cha_to_mc_write."):
+                domain_latency[
+                    "cha_mc_write." + name[len("cha_to_mc_write.") :]
+                ] = stat.average
+            elif name.startswith("cha.admission_delay."):
+                cha_admission[name[len("cha.admission_delay.") :]] = stat.average
+
+        lfb_by_class: Dict[str, float] = {}
+        for core in self.cores:
+            tc = core.workload.traffic_class
+            lfb_by_class[tc] = lfb_by_class.get(tc, 0.0) + core.lfb.average_occupancy(
+                now
+            )
+
+        row_miss: Dict[str, float] = {}
+        for tc in classes:
+            for kind in (RequestKind.READ, RequestKind.WRITE):
+                ratio = mc.row_miss_ratio(tc, kind)
+                row_miss[f"{tc}.{kind.value}"] = ratio
+
+        workload_ops = {
+            name: sum(w.ops_completed for w in workloads)
+            for name, workloads in self._workloads.items()
+        }
+        device_lines = {}
+        device_ios = {}
+        for name, device in self.devices.items():
+            workload = device.workload
+            lines_done = getattr(workload, "lines_done", None)
+            if lines_done is None:
+                lines_done = getattr(workload, "lines_delivered", 0) + getattr(
+                    workload, "lines_read", 0
+                )
+            device_lines[name] = lines_done
+            ios = getattr(workload, "ios_completed", None)
+            if ios is not None:
+                device_ios[name] = ios
+
+        extra: Dict[str, float] = {}
+        for name, device in self.devices.items():
+            if isinstance(device, Nic):
+                extra[f"{name}.pause_fraction"] = device.pause_fraction()
+                extra[f"{name}.loss_rate"] = device.loss_rate()
+        if self.llc is not None:
+            extra["llc.miss_ratio"] = self.llc.miss_ratio
+
+        return RunResult(
+            config=self.config,
+            elapsed_ns=elapsed_ns,
+            mem_bw_total=mc.bandwidth_bytes_per_ns(elapsed_ns),
+            mem_bw_by_class=mem_bw_by_class,
+            lines_read_by_class=lines_read_by_class,
+            lines_written_by_class=lines_written_by_class,
+            domain_latency=domain_latency,
+            lfb_avg_occupancy=lfb_by_class,
+            iio_write_avg_occupancy=self.iio.write_occ.average(now),
+            iio_read_avg_occupancy=self.iio.read_occ.average(now),
+            iio_write_max_occupancy=self.iio.write_occ.max_seen,
+            cha_admission_delay=cha_admission,
+            cha_write_waiting_avg=self.cha.write_waiting.average(now),
+            cha_pool_avg=(
+                self.cha.ingress_occ.average(now)
+                + self.cha.read_stage.average(now)
+                + self.cha.write_waiting.average(now)
+            ),
+            cha_inflight_p2m_reads_avg=self.hub.occupancy(
+                "cha.inflight_reads.p2m"
+            ).average(now),
+            rpq_avg_occupancy=mc.avg_rpq_occupancy(now),
+            wpq_avg_occupancy=mc.avg_wpq_occupancy(now),
+            wpq_full_fraction=mc.wpq_full_fraction(now),
+            lines_read=int(mc.total("lines_read")),
+            lines_written=int(mc.total("lines_written")),
+            switches_wtr=int(mc.total("switches_wtr")),
+            switches_rtw=int(mc.total("switches_rtw")),
+            act_read=int(mc.total("act_read")),
+            act_write=int(mc.total("act_write")),
+            pre_conflict_read=int(mc.total("pre_conflict_read")),
+            pre_conflict_write=int(mc.total("pre_conflict_write")),
+            row_miss_ratio=row_miss,
+            bank_deviations=mc.bank_deviations(),
+            workload_ops=workload_ops,
+            device_lines=device_lines,
+            device_ios=device_ios,
+            extra=extra,
+        )

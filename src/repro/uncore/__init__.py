@@ -1,0 +1,14 @@
+"""Processor-interconnect substrate: LLC (+DDIO), CHA, and IIO.
+
+These are the intermediate nodes of the host network (Fig. 4): the
+Caching/Home Agent that abstracts the LLC and memory behind coherence,
+the Last-Level Cache with Intel DDIO's restricted DMA ways, and the
+Integrated IO controller whose read/write buffers bound the credits of
+the P2M domains (§4.1).
+"""
+
+from repro.uncore.llc import LastLevelCache
+from repro.uncore.cha import CHA
+from repro.uncore.iio import IIO
+
+__all__ = ["LastLevelCache", "CHA", "IIO"]

@@ -1,0 +1,273 @@
+"""Caching and Home Agent (CHA).
+
+The CHA abstracts the LLC and memory from the rest of the system (§3).
+For this model it is the admission point of the processor interconnect
+and the place where the red regime's two backpressure effects play out
+(§5.2):
+
+* **WPQ backpressure** — writes that cannot enter a full WPQ backlog
+  inside the CHA's *write stage* (``N_waiting`` in the analytical
+  model, Table 2). This inflates the P2M-Write domain (which spans the
+  MC) but not the C2M-Write domain (which ends at CHA admission).
+  Reads are *not* affected: they flow through a separate read stage,
+  matching the paper's observation that "reads can be processed
+  concurrently at the CHA even when writes are blocked".
+* **CHA admission backpressure** — when the write stage itself fills,
+  requests back up in the shared FCFS *ingress* queue, where a blocked
+  write head-of-line-blocks every later arrival, read or write, C2M or
+  P2M. This is the equitable latency increase and bandwidth-share
+  stabilization the paper sees at 5–6 C2M cores.
+
+Pipeline::
+
+    arrivals -> ingress (FCFS, HoL) -> read stage  -> RPQ
+                                    -> write stage -> WPQ
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.dram.controller import MemoryController
+from repro.sim.engine import Simulator
+from repro.sim.records import Request, RequestKind, RequestSource
+from repro.telemetry.counters import CounterHub
+from repro.uncore.llc import LastLevelCache
+
+
+class CHA:
+    """Admission control + LLC/DDIO service + MC routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hub: CounterHub,
+        mc: MemoryController,
+        write_capacity: int = 96,
+        read_capacity: int = 96,
+        t_cha_to_mc: float = 15.0,
+        t_llc_hit: float = 22.0,
+        llc: Optional[LastLevelCache] = None,
+        ddio_enabled: bool = False,
+    ):
+        self._sim = sim
+        self._hub = hub
+        self._mc = mc
+        self.write_capacity = write_capacity
+        self.read_capacity = read_capacity
+        self.t_cha_to_mc = t_cha_to_mc
+        self.t_llc_hit = t_llc_hit
+        self.llc = llc
+        self.ddio_enabled = ddio_enabled
+        n_channels = len(mc.channels)
+        self._ingress: Deque[Tuple[Request, float]] = deque()
+        self._read_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
+        self._write_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
+        self.ingress_occ = hub.occupancy("cha.ingress")
+        # No hard capacity on the counters themselves: DDIO eviction
+        # writebacks enter the write stage without passing ingress, so
+        # occupancy may transiently exceed the admission threshold.
+        self.read_stage = hub.occupancy("cha.read_stage")
+        self.write_waiting = hub.occupancy("cha.write_waiting")
+        self._inflight_reads = {
+            RequestSource.C2M: hub.occupancy("cha.inflight_reads.c2m"),
+            RequestSource.P2M: hub.occupancy("cha.inflight_reads.p2m"),
+        }
+        for channel in mc.channels:
+            channel.on_rpq_space = self._on_rpq_space
+            channel.on_wpq_space = self._on_wpq_space
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+
+    def request_admission(self, req: Request) -> None:
+        """A request arrives at the CHA (from a core or the IIO)."""
+        now = self._sim.now
+        self._ingress.append((req, now))
+        self.ingress_occ.update(now, +1)
+        self._pump_ingress()
+
+    def _stage_has_room(self, req: Request) -> bool:
+        if req.kind is RequestKind.READ:
+            return self.read_stage.value < self.read_capacity
+        return self.write_waiting.value < self.write_capacity
+
+    def _pump_ingress(self) -> None:
+        """Admit ingress heads while their type stage has room (FCFS:
+        a blocked head blocks everyone behind it)."""
+        while self._ingress:
+            req, t_arrival = self._ingress[0]
+            if not self._stage_has_room(req):
+                return
+            self._ingress.popleft()
+            self.ingress_occ.update(self._sim.now, -1)
+            self._admit(req, t_arrival)
+
+    def _admit(self, req: Request, t_arrival: float) -> None:
+        now = self._sim.now
+        req.t_cha_admit = now
+        self._hub.latency(f"cha.admission_delay.{req.traffic_class}").record(
+            now - t_arrival
+        )
+        self._hub.traffic_class(req.traffic_class).arrivals.increment()
+        if req.on_cha_admit is not None:
+            req.on_cha_admit(req)
+        if req.kind is RequestKind.READ:
+            self._admit_read(req)
+        else:
+            self._admit_write(req)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _admit_read(self, req: Request) -> None:
+        now = self._sim.now
+        if self.llc is not None:
+            hit, evicted_dirty = self.llc.lookup_read(req.line_addr)
+            if hit:
+                self._sim.schedule(self.t_llc_hit, self._complete_llc_read, req)
+                return
+            if evicted_dirty is not None:
+                self._spawn_writeback(evicted_dirty, req.traffic_class)
+        self.read_stage.update(now, +1)
+        self._inflight_reads[req.source].update(now, +1)
+        req.on_serviced = self._on_read_serviced
+        channel = self._mc.channels[req.channel_id]
+        if channel.can_accept_read():
+            channel.reserve_read()
+            self._sim.schedule(self.t_cha_to_mc, self._deliver_read, req)
+        else:
+            self._read_backlog[req.channel_id].append(req)
+
+    def _deliver_read(self, req: Request) -> None:
+        self.read_stage.update(self._sim.now, -1)
+        self._mc.channels[req.channel_id].enqueue_read(req)
+        self._pump_ingress()
+
+    def _complete_llc_read(self, req: Request) -> None:
+        """Serve a read from the LLC (no memory traversal)."""
+        req.t_service = self._sim.now
+        if req.on_complete is not None:
+            req.on_complete(req)
+        self._pump_ingress()
+
+    def _on_read_serviced(self, req: Request) -> None:
+        now = self._sim.now
+        self._inflight_reads[req.source].update(now, -1)
+        latency = (req.t_service - req.t_cha_admit) + self.t_cha_to_mc
+        self._hub.latency(f"cha_to_dram_read.{req.traffic_class}").record(latency)
+        self._hub.traffic_class(req.traffic_class).completions.increment()
+
+    def _on_rpq_space(self, channel_id: int) -> None:
+        backlog = self._read_backlog[channel_id]
+        channel = self._mc.channels[channel_id]
+        while backlog and channel.can_accept_read():
+            req = backlog.popleft()
+            channel.reserve_read()
+            self._sim.schedule(self.t_cha_to_mc, self._deliver_read, req)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _admit_write(self, req: Request) -> None:
+        now = self._sim.now
+        if (
+            self.llc is not None
+            and self.ddio_enabled
+            and req.source is RequestSource.P2M
+        ):
+            # DDIO: the DMA write terminates at the LLC; the P2M-Write
+            # credit is replenished here. A dirty eviction (the steady
+            # state for buffers larger than the DDIO ways) becomes a
+            # memory write carried by a fresh write-stage entry.
+            outcome, evicted_dirty = self.llc.write_allocate_ddio(req.line_addr)
+            self._sim.schedule(self.t_llc_hit, self._complete_ddio_write, req)
+            if evicted_dirty is None:
+                return
+            req = self._make_writeback(evicted_dirty, req.traffic_class)
+            # fall through: the eviction writeback heads to the WPQ.
+        elif self.llc is not None and req.source is RequestSource.C2M:
+            if self.llc.writeback_update(req.line_addr):
+                # Absorbed by a resident line; written back on eviction.
+                self._sim.schedule(0.0, self._complete_absorbed_write, req)
+                return
+        self.write_waiting.update(now, +1)
+        channel = self._mc.channels[req.channel_id]
+        if channel.can_accept_write():
+            channel.reserve_write()
+            self._sim.schedule(self.t_cha_to_mc, self._deliver_write, req)
+        else:
+            self._write_backlog[req.channel_id].append(req)
+
+    def _deliver_write(self, req: Request) -> None:
+        now = self._sim.now
+        self.write_waiting.update(now, -1)
+        latency = now - req.t_cha_admit
+        self._hub.latency(f"cha_to_mc_write.{req.traffic_class}").record(latency)
+        self._mc.channels[req.channel_id].enqueue_write(req)
+        self._hub.traffic_class(req.traffic_class).completions.increment()
+        self._pump_ingress()
+
+    def _complete_ddio_write(self, req: Request) -> None:
+        req.t_queue_admit = self._sim.now  # domain ends at the LLC
+        if req.on_complete is not None:
+            req.on_complete(req)
+
+    def _complete_absorbed_write(self, req: Request) -> None:
+        req.t_queue_admit = self._sim.now
+        if req.on_complete is not None:
+            req.on_complete(req)
+
+    def _make_writeback(self, line_addr: int, traffic_class: str) -> Request:
+        """Turn a dirty DDIO eviction into a memory write."""
+        wb = Request(
+            RequestSource.P2M,
+            RequestKind.WRITE,
+            line_addr,
+            traffic_class=traffic_class,
+        )
+        wb.t_alloc = self._sim.now
+        wb.t_cha_admit = self._sim.now
+        self._mc.assign(wb)
+        return wb
+
+    def _spawn_writeback(self, line_addr: int, traffic_class: str) -> None:
+        """Dirty eviction caused by a read fill: re-enters via ingress
+        so it competes for write-stage space like any other write."""
+        wb = Request(
+            RequestSource.C2M,
+            RequestKind.WRITE,
+            line_addr,
+            traffic_class=traffic_class,
+        )
+        wb.t_alloc = self._sim.now
+        self._mc.assign(wb)
+        self.request_admission(wb)
+
+    def _on_wpq_space(self, channel_id: int) -> None:
+        backlog = self._write_backlog[channel_id]
+        channel = self._mc.channels[channel_id]
+        moved = False
+        while backlog and channel.can_accept_write():
+            req = backlog.popleft()
+            channel.reserve_write()
+            self._sim.schedule(self.t_cha_to_mc, self._deliver_write, req)
+            moved = True
+        if moved:
+            self._pump_ingress()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def write_backlog_len(self) -> int:
+        """Writes waiting for WPQ space across channels."""
+        return sum(len(q) for q in self._write_backlog)
+
+    @property
+    def admission_queue_len(self) -> int:
+        """Requests waiting in the shared ingress (HoL queue)."""
+        return len(self._ingress)

@@ -1,0 +1,104 @@
+"""Integrated IO controller (IIO).
+
+The IIO bridges the peripheral interconnect (PCIe) to the processor
+interconnect. Its read/write buffers are the credit pools of the P2M
+domains (§4.1):
+
+* a peripheral needs a free IIO entry (a PCIe credit) to send a
+  request; the entry is allocated when the device *initiates* the DMA;
+* for DMA writes the entry is freed when the request is admitted to
+  the MC's WPQ (or served by the LLC under DDIO) — the P2M-Write
+  domain spans IIO→MC;
+* for DMA reads (non-posted PCIe transactions) the entry is freed only
+  when data returns from DRAM and the completion is issued — the
+  P2M-Read domain spans IIO→DRAM.
+
+The paper measures ~92 write-buffer entries and >164 read credits on
+its servers; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.records import Request, RequestKind, RequestSource
+from repro.telemetry.counters import CounterHub
+
+
+class IIO:
+    """IIO buffers + hop to the CHA."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hub: CounterHub,
+        write_entries: int = 92,
+        read_entries: int = 200,
+        t_iio_to_cha: float = 40.0,
+    ):
+        self._sim = sim
+        self._hub = hub
+        self.write_entries = write_entries
+        self.read_entries = read_entries
+        self.t_iio_to_cha = t_iio_to_cha
+        self.write_occ = hub.occupancy("iio.write", write_entries)
+        self.read_occ = hub.occupancy("iio.read", read_entries)
+        self._credit_waiters: List[Callable[[], None]] = []
+        # Wired by the host: called by request_admission's target.
+        self.cha_admission: Optional[Callable[[Request], None]] = None
+
+    # ------------------------------------------------------------------
+    # Credits (PCIe credits == IIO buffer entries)
+    # ------------------------------------------------------------------
+
+    def has_credit(self, kind: RequestKind) -> bool:
+        """Whether a device may initiate a DMA of this direction."""
+        if kind is RequestKind.WRITE:
+            return self.write_occ.value < self.write_entries
+        return self.read_occ.value < self.read_entries
+
+    def alloc(self, req: Request) -> None:
+        """Allocate an IIO entry at DMA initiation time (device side)."""
+        now = self._sim.now
+        req.t_alloc = now
+        if req.kind is RequestKind.WRITE:
+            self.write_occ.update(now, +1)
+        else:
+            self.read_occ.update(now, +1)
+
+    def release(self, req: Request) -> None:
+        """Replenish the credit and record the P2M domain latency."""
+        now = self._sim.now
+        req.t_free = now
+        if req.kind is RequestKind.WRITE:
+            self.write_occ.update(now, -1)
+            self._hub.latency(f"domain.p2m_write.{req.traffic_class}").record(
+                now - req.t_alloc
+            )
+        else:
+            self.read_occ.update(now, -1)
+            self._hub.latency(f"domain.p2m_read.{req.traffic_class}").record(
+                now - req.t_alloc
+            )
+        self._notify_waiters()
+
+    def add_credit_waiter(self, callback: Callable[[], None]) -> None:
+        """Register a device callback fired whenever a credit frees."""
+        self._credit_waiters.append(callback)
+
+    def _notify_waiters(self) -> None:
+        for callback in self._credit_waiters:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+
+    def on_dma_arrival(self, req: Request) -> None:
+        """A DMA request arrives from the PCIe link; forward to the CHA."""
+        if req.source is not RequestSource.P2M:
+            raise ValueError("IIO only carries peripheral traffic")
+        if self.cha_admission is None:
+            raise RuntimeError("IIO not wired to a CHA")
+        self._sim.schedule(self.t_iio_to_cha, self.cha_admission, req)

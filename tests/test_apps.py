@@ -1,0 +1,183 @@
+"""Tests for the Redis / GAPBS / FIO application models."""
+
+import pytest
+
+from repro import Host, cascade_lake
+from repro.apps.fio import add_fio
+from repro.apps.gapbs import GapbsWorkload, add_gapbs_cores
+from repro.apps.redis import RedisWorkload, add_redis_cores
+from repro.dram.region import ContiguousRegion
+
+WARMUP = 10_000.0
+MEASURE = 30_000.0
+
+
+def app_config():
+    return cascade_lake(llc_mode="full", ddio_enabled=True)
+
+
+class TestRedisWorkload:
+    def test_query_lifecycle(self):
+        workload = RedisWorkload(ContiguousRegion(0, 10_000), lines_per_query=4, mlp=2)
+        ops = []
+        for _ in range(2):
+            op = workload.try_next(0.0)
+            assert op is not None
+            ops.append(op)
+        assert workload.try_next(0.0) is None  # mlp limit
+        workload.on_complete(0.0)
+        workload.on_complete(0.0)
+        assert workload.try_next(0.0) is not None  # remaining issues
+
+    def test_compute_gap_after_query(self):
+        workload = RedisWorkload(
+            ContiguousRegion(0, 10_000), lines_per_query=1, mlp=1, compute_ns=500.0
+        )
+        workload.try_next(0.0)
+        workload.on_complete(10.0)
+        assert workload.queries_completed == 1
+        assert workload.try_next(10.0) is None
+        assert workload.wake_time(10.0) == pytest.approx(510.0)
+        assert workload.try_next(600.0) is not None
+
+    def test_set_mix_issues_stores(self):
+        workload = RedisWorkload(
+            ContiguousRegion(0, 10_000), lines_per_query=2, query_mix="set"
+        )
+        _, is_store = workload.try_next(0.0)
+        assert is_store
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RedisWorkload(ContiguousRegion(0, 100), lines_per_query=0)
+        with pytest.raises(ValueError):
+            RedisWorkload(ContiguousRegion(0, 100), query_mix="scan")
+
+    def test_throughput_on_host(self):
+        host = Host(app_config())
+        workloads = add_redis_cores(host, 2)
+        result = host.run(WARMUP, MEASURE)
+        queries = sum(w.queries_completed for w in workloads)
+        assert queries > 20
+        assert result.workload_ops["redis-get"] > 0
+
+    def test_degrades_under_p2m_contention(self):
+        """The Fig. 1 phenomenon at app level."""
+
+        def run(colocated):
+            host = Host(app_config())
+            workloads = add_redis_cores(host, 2)
+            if colocated:
+                add_fio(host, mode="read", name="fio")
+            host.run(WARMUP, MEASURE)
+            return sum(w.queries_completed for w in workloads)
+
+        isolated, colocated = run(False), run(True)
+        degradation = isolated / colocated
+        assert 1.05 <= degradation <= 2.0
+
+
+class TestGapbsWorkload:
+    def test_pr_is_read_only(self):
+        workload = GapbsWorkload(ContiguousRegion(0, 100_000), "pr", seed=1)
+        ops = [workload.try_next(0.0) for _ in range(workload.mlp)]
+        assert all(not is_store for _, is_store in ops)
+
+    def test_bc_issues_stores(self):
+        workload = GapbsWorkload(ContiguousRegion(0, 100_000), "bc", seed=1)
+        stores = 0
+        for _ in range(200):
+            op = workload.try_next(0.0)
+            if op is None:
+                workload.on_complete(0.0)
+                continue
+            stores += op[1]
+        assert stores > 0
+
+    def test_mlp_limit(self):
+        workload = GapbsWorkload(ContiguousRegion(0, 1000), "pr")
+        for _ in range(workload.mlp):
+            assert workload.try_next(0.0) is not None
+        assert workload.try_next(0.0) is None
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            GapbsWorkload(ContiguousRegion(0, 100), "sssp")
+
+    def test_pr_slowdown_tracks_latency_inflation(self):
+        """PR is memory-bound: its slowdown approximately equals the
+        C2M-Read latency inflation (§2.1)."""
+
+        def run(colocated):
+            host = Host(app_config())
+            workloads = add_gapbs_cores(host, 2, "pr")
+            if colocated:
+                add_fio(host, mode="read", name="fio")
+            result = host.run(WARMUP, MEASURE)
+            edges = sum(w.edges_processed for w in workloads)
+            return edges, result.latency("c2m_read")
+
+        (e_iso, l_iso), (e_co, l_co) = run(False), run(True)
+        slowdown = e_iso / e_co
+        inflation = l_co / l_iso
+        assert slowdown == pytest.approx(inflation, rel=0.25)
+        assert slowdown > 1.1
+
+    def test_shared_graph_region(self):
+        host = Host(app_config())
+        workloads = add_gapbs_cores(host, 3, "pr")
+        assert len({id(w.region) for w in workloads}) == 1
+
+
+class TestFio:
+    def test_read_job_generates_memory_writes(self):
+        host = Host(cascade_lake())
+        job = add_fio(host, mode="read")
+        result = host.run(WARMUP, MEASURE)
+        assert result.lines_written_by_class["p2m"] > 0
+        assert result.lines_read_by_class.get("p2m", 0) == 0
+        assert job.bandwidth(result.elapsed_ns) == pytest.approx(
+            result.config.device_rate, rel=0.05
+        )
+
+    def test_write_job_generates_memory_reads(self):
+        host = Host(cascade_lake())
+        add_fio(host, mode="write")
+        result = host.run(WARMUP, MEASURE)
+        assert result.lines_read_by_class["p2m"] > 0
+        assert result.lines_written_by_class.get("p2m", 0) == 0
+
+    def test_iops_reporting(self):
+        host = Host(cascade_lake())
+        job = add_fio(host, mode="read", io_size_bytes=64 << 10)
+        result = host.run(WARMUP, MEASURE)
+        expected = job.bandwidth(result.elapsed_ns) / (64 << 10) * 1e9
+        assert job.iops(result.elapsed_ns) == pytest.approx(expected, rel=0.2)
+
+    def test_invalid_mode(self):
+        host = Host(cascade_lake())
+        with pytest.raises(ValueError):
+            add_fio(host, mode="randrw")
+
+    def test_ddio_absorbs_small_buffers(self):
+        """A FIO buffer inside the DDIO slice is served by the LLC:
+        almost no memory writes in steady state."""
+        config = cascade_lake(llc_mode="full", ddio_enabled=True)
+        host = Host(config)
+        add_fio(host, mode="read", region_bytes=256 << 10)  # 256 KB ring
+        # Warm until the ring is fully resident in the DDIO ways.
+        result = host.run(40_000.0, MEASURE)
+        absorbed = result.device_bandwidth("fio")
+        memory = result.class_bandwidth("p2m")
+        assert memory < 0.25 * absorbed
+
+    def test_large_buffers_thrash_ddio(self):
+        """The paper's 8 MB-request workload: same memory write volume
+        with DDIO on as off (§2.1)."""
+        results = {}
+        for ddio in (True, False):
+            config = cascade_lake(llc_mode="full", ddio_enabled=ddio)
+            host = Host(config)
+            add_fio(host, mode="read", region_bytes=1 << 30)
+            results[ddio] = host.run(WARMUP, MEASURE).class_bandwidth("p2m")
+        assert results[True] == pytest.approx(results[False], rel=0.1)

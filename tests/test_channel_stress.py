@@ -1,0 +1,137 @@
+"""Randomized stress tests for the memory-controller channel.
+
+Hypothesis drives random request mixes through a channel and checks
+global invariants: everything completes, conservation of counts, and
+occupancies return to zero.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.controller import Channel
+from repro.dram.timing import DDR4_2933
+from repro.sim.engine import Simulator
+from repro.sim.records import Request, RequestKind, RequestSource
+from repro.telemetry.counters import CounterHub
+
+request_strategy = st.tuples(
+    st.booleans(),  # is_write
+    st.integers(min_value=0, max_value=7),  # bank
+    st.integers(min_value=0, max_value=3),  # row
+    st.floats(min_value=0.0, max_value=50.0),  # inter-arrival gap
+)
+
+
+def build_channel(rpq=64, wpq=64):
+    sim = Simulator()
+    hub = CounterHub()
+    channel = Channel(
+        sim,
+        hub,
+        channel_id=0,
+        timing=DDR4_2933,
+        n_banks=8,
+        rpq_size=rpq,
+        wpq_size=wpq,
+    )
+    return sim, channel
+
+
+class TestChannelStress:
+    @given(st.lists(request_strategy, min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_every_request_completes(self, specs):
+        sim, channel = build_channel()
+        completed = []
+        t = 0.0
+        pending = []
+
+        def submit(req):
+            if req.kind is RequestKind.READ:
+                channel.reserve_read()
+                channel.enqueue_read(req)
+            else:
+                channel.reserve_write()
+                channel.enqueue_write(req)
+
+        for i, (is_write, bank, row, gap) in enumerate(specs):
+            kind = RequestKind.WRITE if is_write else RequestKind.READ
+            req = Request(RequestSource.C2M, kind, i)
+            req.channel_id = 0
+            req.bank_id = bank
+            req.row_id = row
+            if kind is RequestKind.READ:
+                req.on_complete = lambda r: completed.append(r)
+            t += gap
+            pending.append((t, req))
+
+        for at, req in pending:
+            sim.schedule_at(at, submit, req)
+        sim.run_until(t + 500_000.0)
+
+        n_reads = sum(1 for s in specs if not s[0])
+        n_writes = len(specs) - n_reads
+        assert len(completed) == n_reads
+        assert channel.stats.lines_read == n_reads
+        assert channel.stats.lines_written == n_writes
+        assert channel.rpq_count == 0
+        assert channel.wpq_count == 0
+        # Every serviced request carries a service timestamp and a
+        # recorded row outcome.
+        for req in completed:
+            assert req.t_service is not None
+            assert req.row_outcome in ("hit", "miss", "conflict")
+
+    @given(st.lists(request_strategy, min_size=5, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_busy_time_bounded_by_elapsed(self, specs):
+        sim, channel = build_channel()
+        for i, (is_write, bank, row, _gap) in enumerate(specs):
+            kind = RequestKind.WRITE if is_write else RequestKind.READ
+            req = Request(RequestSource.C2M, kind, i)
+            req.channel_id = 0
+            req.bank_id = bank
+            req.row_id = row
+            if kind is RequestKind.READ:
+                channel.reserve_read()
+                channel.enqueue_read(req)
+            else:
+                channel.reserve_write()
+                channel.enqueue_write(req)
+        sim.run_until(500_000.0)
+        stats = channel.stats
+        total_busy = stats.busy_read_time + stats.busy_write_time + stats.turnaround_time
+        assert total_busy <= sim.now + 1e-6
+        assert stats.lines_read + stats.lines_written == len(specs)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_row_outcome_conservation(self, n_reads, n_writes):
+        """hits + misses + conflicts == lines moved, per direction."""
+        sim, channel = build_channel()
+        for i in range(n_reads):
+            req = Request(RequestSource.C2M, RequestKind.READ, i)
+            req.channel_id, req.bank_id, req.row_id = 0, i % 8, i % 3
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        for i in range(n_writes):
+            req = Request(RequestSource.C2M, RequestKind.WRITE, 1000 + i)
+            req.channel_id, req.bank_id, req.row_id = 0, i % 8, 2 - (i % 3)
+            channel.reserve_write()
+            channel.enqueue_write(req)
+        sim.run_until(500_000.0)
+        outcomes = channel.stats.class_row_outcomes
+        read_total = sum(
+            outcomes[("c2m", "read", o)] for o in ("hit", "miss", "conflict")
+        )
+        write_total = sum(
+            outcomes[("c2m", "write", o)] for o in ("hit", "miss", "conflict")
+        )
+        assert read_total == n_reads
+        assert write_total == n_writes
+        # Precharges never exceed activations.
+        assert channel.stats.pre_conflict_read <= channel.stats.act_read
+        assert channel.stats.pre_conflict_write <= channel.stats.act_write

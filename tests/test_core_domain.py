@@ -1,0 +1,171 @@
+"""Unit tests for the domain abstraction (§4)."""
+
+import pytest
+
+from repro.core.bottleneck import analyze_bottleneck
+from repro.core.datapath import (
+    C2M_READ,
+    C2M_READWRITE,
+    C2M_WRITE,
+    P2M_READ,
+    P2M_WRITE,
+    datapath_for,
+    domains_of,
+)
+from repro.core.domain import Domain, DomainKind, credits_needed, throughput_bound
+from repro.core.regimes import Regime, RegimePoint, classify_regime
+from repro.sim.records import RequestKind, RequestSource
+
+
+class TestThroughputBound:
+    def test_paper_c2m_read_example(self):
+        """~12 LFB credits at ~70 ns -> ~11 GB/s per core."""
+        assert throughput_bound(12, 70.0) == pytest.approx(10.97, abs=0.01)
+
+    def test_paper_p2m_write_example(self):
+        """§5.1: ~65 credits are needed for ~14 GB/s at ~300 ns."""
+        assert credits_needed(14.0, 300.0) == pytest.approx(65.6, abs=0.1)
+
+    def test_bound_and_credits_are_inverse(self):
+        bound = throughput_bound(92, 300.0)
+        assert credits_needed(bound, 300.0) == pytest.approx(92.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            throughput_bound(-1, 100.0)
+        with pytest.raises(ValueError):
+            throughput_bound(10, 0.0)
+        with pytest.raises(ValueError):
+            credits_needed(-1.0, 100.0)
+
+
+class TestDomain:
+    def test_latency_inflation(self):
+        domain = Domain(DomainKind.C2M_READ, 12, 70.0, loaded_latency_ns=105.0)
+        assert domain.latency_inflation == pytest.approx(1.5)
+        assert domain.max_throughput < domain.unloaded_throughput
+
+    def test_credits_saturated(self):
+        full = Domain(DomainKind.C2M_READ, 12, 70.0, credits_in_use=11.9)
+        spare = Domain(DomainKind.P2M_WRITE, 92, 300.0, credits_in_use=66.0)
+        assert full.credits_saturated
+        assert not spare.credits_saturated
+        assert spare.spare_credits() == pytest.approx(26.0)
+
+    def test_tolerable_latency_spare_credit_argument(self):
+        """The P2M-Write domain tolerates inflation up to C*64/demand."""
+        domain = Domain(DomainKind.P2M_WRITE, 92, 300.0)
+        assert domain.tolerable_latency(14.0) == pytest.approx(420.6, abs=0.1)
+
+    def test_domain_kind_properties(self):
+        assert DomainKind.C2M_READ.includes_dram
+        assert DomainKind.P2M_READ.includes_dram
+        assert not DomainKind.C2M_WRITE.includes_dram
+        assert not DomainKind.P2M_WRITE.includes_dram
+        assert DomainKind.P2M_WRITE.includes_mc
+        assert not DomainKind.C2M_WRITE.includes_mc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Domain(DomainKind.C2M_READ, 0, 70.0)
+        with pytest.raises(ValueError):
+            Domain(DomainKind.C2M_READ, 12, 0.0)
+
+
+class TestDatapath:
+    def test_datapath_for(self):
+        assert datapath_for(RequestSource.C2M, RequestKind.READ) is C2M_READ
+        assert datapath_for(RequestSource.C2M, RequestKind.WRITE) is C2M_WRITE
+        assert (
+            datapath_for(RequestSource.C2M, RequestKind.WRITE, store_stream=True)
+            is C2M_READWRITE
+        )
+        assert datapath_for(RequestSource.P2M, RequestKind.READ) is P2M_READ
+        assert datapath_for(RequestSource.P2M, RequestKind.WRITE) is P2M_WRITE
+
+    def test_parallel_bound_is_min(self):
+        chars = {
+            DomainKind.C2M_READ: Domain(DomainKind.C2M_READ, 12, 70.0),
+            DomainKind.C2M_WRITE: Domain(DomainKind.C2M_WRITE, 12, 10.0),
+        }
+        assert C2M_READ.bound(chars) == pytest.approx(throughput_bound(12, 70.0))
+
+    def test_serial_bound_adds_latencies(self):
+        """C2M-ReadWrite: one LFB entry spans both domains (§4.2)."""
+        chars = {
+            DomainKind.C2M_READ: Domain(DomainKind.C2M_READ, 12, 70.0),
+            DomainKind.C2M_WRITE: Domain(DomainKind.C2M_WRITE, 12, 10.0),
+        }
+        assert C2M_READWRITE.bound(chars) == pytest.approx(
+            throughput_bound(12, 80.0)
+        )
+        assert C2M_READWRITE.total_latency(chars) == pytest.approx(80.0)
+
+    def test_missing_characteristics_raise(self):
+        with pytest.raises(KeyError):
+            C2M_READWRITE.bound({})
+
+    def test_domains_of_unique_ordered(self):
+        kinds = domains_of([C2M_READWRITE, C2M_READ, P2M_WRITE])
+        assert kinds == (
+            DomainKind.C2M_READ,
+            DomainKind.C2M_WRITE,
+            DomainKind.P2M_WRITE,
+        )
+
+
+class TestBottleneck:
+    def test_credit_limited_bottleneck(self):
+        chars = {
+            DomainKind.C2M_READ: Domain(
+                DomainKind.C2M_READ, 12, 70.0, loaded_latency_ns=126.0,
+                credits_in_use=12.0,
+            ),
+        }
+        report = analyze_bottleneck(C2M_READ, chars)
+        assert report.bottleneck is DomainKind.C2M_READ
+        assert report.credit_limited and report.latency_inflated
+        assert "credits fully utilized" in report.explanation
+
+    def test_spare_credits_mask_inflation(self):
+        chars = {
+            DomainKind.P2M_WRITE: Domain(
+                DomainKind.P2M_WRITE, 92, 300.0, loaded_latency_ns=330.0,
+                credits_in_use=70.0,
+            ),
+        }
+        report = analyze_bottleneck(P2M_WRITE, chars, demand=14.0)
+        assert not report.credit_limited
+        assert "mask" in report.explanation
+        assert report.bound >= 14.0
+
+    def test_unloaded_report(self):
+        chars = {
+            DomainKind.P2M_READ: Domain(DomainKind.P2M_READ, 200, 500.0),
+        }
+        report = analyze_bottleneck(P2M_READ, chars)
+        assert "unloaded" in report.explanation
+
+
+class TestRegimes:
+    def test_blue_regime(self):
+        point = RegimePoint(1.5, 1.0, 0.5)
+        assert classify_regime(point) is Regime.BLUE
+
+    def test_red_regime(self):
+        point = RegimePoint(1.4, 2.0, 0.8)
+        assert classify_regime(point) is Regime.RED
+
+    def test_neutral(self):
+        point = RegimePoint(1.02, 1.01, 0.3)
+        assert classify_regime(point) is Regime.NEUTRAL
+
+    def test_red_requires_p2m_degradation(self):
+        point = RegimePoint(2.0, 1.0, 0.9)
+        assert classify_regime(point) is Regime.BLUE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegimePoint(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            RegimePoint(1.0, 1.0, 2.0)

@@ -1,0 +1,190 @@
+"""Unit tests for the core, LFB, and C2M workload generators."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.lfb import LineFillBuffer
+from repro.cpu.workloads import (
+    OP_NT_STORE,
+    MemoryWorkload,
+    RandomAccessWorkload,
+    SequentialStreamWorkload,
+)
+from repro.dram.controller import MemoryController
+from repro.dram.region import ContiguousRegion
+from repro.dram.timing import DDR4_2933
+from repro.sim.engine import Simulator
+from repro.telemetry.counters import CounterHub
+from repro.uncore.cha import CHA
+
+
+def make_rig(workload, lfb_size=4):
+    sim = Simulator()
+    hub = CounterHub()
+    mc = MemoryController(sim, hub, DDR4_2933, n_channels=1, n_banks=8)
+    cha = CHA(sim, hub, mc, write_capacity=32, read_capacity=32)
+    core = Core(
+        sim,
+        hub,
+        core_id=0,
+        mc=mc,
+        cha_admission=cha.request_admission,
+        workload=workload,
+        lfb_size=lfb_size,
+    )
+    return sim, hub, core
+
+
+class TestLfb:
+    def test_alloc_free_cycle(self):
+        hub = CounterHub()
+        lfb = LineFillBuffer(hub.occupancy("lfb", 2), 2)
+        lfb.alloc(0.0)
+        lfb.alloc(0.0)
+        assert not lfb.has_free_entry
+        lfb.free(1.0)
+        assert lfb.has_free_entry
+
+    def test_over_allocation_raises(self):
+        hub = CounterHub()
+        lfb = LineFillBuffer(hub.occupancy("lfb", 1), 1)
+        lfb.alloc(0.0)
+        with pytest.raises(RuntimeError):
+            lfb.alloc(0.0)
+
+    def test_invalid_size(self):
+        hub = CounterHub()
+        with pytest.raises(ValueError):
+            LineFillBuffer(hub.occupancy("lfb"), 0)
+
+
+class TestSequentialStream:
+    def test_pure_read_stream(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 8), 0.0)
+        ops = [workload.try_next(0.0) for _ in range(10)]
+        addrs = [a for a, _ in ops]
+        stores = [s for _, s in ops]
+        assert addrs == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]  # wraps
+        assert not any(stores)
+
+    def test_pure_store_stream(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 8), 1.0)
+        assert all(workload.try_next(0.0)[1] for _ in range(10))
+
+    def test_fractional_store_mix_is_exact(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 1000), 0.25)
+        stores = sum(1 for _ in range(1000) if workload.try_next(0.0)[1])
+        assert stores == 250
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SequentialStreamWorkload(ContiguousRegion(0, 8), 1.5)
+
+
+class TestRandomAccess:
+    def test_addresses_within_region(self):
+        workload = RandomAccessWorkload(ContiguousRegion(100, 50), seed=1)
+        for _ in range(200):
+            addr, _ = workload.try_next(0.0)
+            assert 100 <= addr < 150
+
+    def test_deterministic_per_seed(self):
+        a = RandomAccessWorkload(ContiguousRegion(0, 1000), seed=5)
+        b = RandomAccessWorkload(ContiguousRegion(0, 1000), seed=5)
+        assert [a.try_next(0.0) for _ in range(50)] == [
+            b.try_next(0.0) for _ in range(50)
+        ]
+
+
+class TestCore:
+    def test_core_keeps_lfb_full(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 10_000), 0.0)
+        sim, hub, core = make_rig(workload, lfb_size=4)
+        core.start()
+        assert core.lfb.in_use == 4  # issues immediately to the limit
+        sim.run_until(10_000.0)
+        assert core.reads_completed > 0
+        assert core.lfb.in_use == 4
+
+    def test_read_domain_latency_recorded(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 10_000), 0.0)
+        sim, hub, core = make_rig(workload)
+        core.start()
+        sim.run_until(10_000.0)
+        stat = hub.latency("domain.c2m_read.c2m")
+        assert stat.count == core.reads_completed
+        assert stat.average > 40.0  # at least the unloaded hops
+
+    def test_store_holds_lfb_through_writeback(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 10_000), 1.0)
+        sim, hub, core = make_rig(workload)
+        core.start()
+        sim.run_until(10_000.0)
+        assert core.stores_completed > 0
+        read_stat = hub.latency("domain.c2m_read.c2m")
+        write_stat = hub.latency("domain.c2m_write.c2m")
+        total_stat = hub.latency("lfb.total.c2m")
+        # §4.2: LFB latency == C2M-Read + C2M-Write domain latencies.
+        assert total_stat.average == pytest.approx(
+            read_stat.average + write_stat.average, rel=0.05
+        )
+
+    def test_c2m_write_unloaded_latency_is_small(self):
+        """The paper estimates ~10 ns for the unloaded C2M-Write domain."""
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 10_000), 1.0)
+        sim, hub, core = make_rig(workload)
+        core.start()
+        sim.run_until(10_000.0)
+        assert hub.latency("domain.c2m_write.c2m").average == pytest.approx(
+            10.0, abs=3.0
+        )
+
+    def test_nt_store_generates_write_without_read(self):
+        class NtStream(MemoryWorkload):
+            def __init__(self):
+                super().__init__("c2m")
+                self._pos = 0
+
+            def try_next(self, now):
+                self._pos += 1
+                return self._pos, OP_NT_STORE
+
+        sim, hub, core = make_rig(NtStream())
+        core.start()
+        sim.run_until(5_000.0)
+        assert core.stores_completed > 0
+        assert core.reads_completed == 0
+        assert hub.latency("domain.c2m_read.c2m").count == 0
+
+    def test_think_gated_workload_wakes_up(self):
+        class OneShotThink(MemoryWorkload):
+            def __init__(self):
+                super().__init__("c2m")
+                self.issued = 0
+
+            def try_next(self, now):
+                if now < 500.0:
+                    return None
+                if self.issued >= 3:
+                    return None
+                self.issued += 1
+                return self.issued, False
+
+            def wake_time(self, now):
+                if now < 500.0:
+                    return 500.0
+                return None
+
+        sim, hub, core = make_rig(OneShotThink())
+        core.start()
+        sim.run_until(5_000.0)
+        assert core.reads_completed == 3
+
+    def test_reset_stats(self):
+        workload = SequentialStreamWorkload(ContiguousRegion(0, 10_000), 0.0)
+        sim, hub, core = make_rig(workload)
+        core.start()
+        sim.run_until(2_000.0)
+        core.reset_stats(sim.now)
+        assert core.reads_completed == 0
+        assert workload.ops_completed == 0

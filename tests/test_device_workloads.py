@@ -1,0 +1,156 @@
+"""Unit tests for device-side workload state machines and host helpers."""
+
+import pytest
+
+from repro import Host, RequestKind, cascade_lake
+from repro.dram.region import ContiguousRegion
+from repro.pcie.device import DmaWorkload, SequentialDmaWorkload
+from repro.pcie.nic import NicWorkload
+from repro.pcie.nvme import NvmeWorkload
+
+
+class TestDmaWorkloadBase:
+    def test_base_has_no_demand(self):
+        workload = DmaWorkload()
+        assert workload.next_write(0.0) is None
+        assert workload.next_read(0.0) is None
+        assert workload.wake_time(0.0) is None
+        # Completion hooks are no-ops by default.
+        workload.on_write_posted(0, 0.0)
+        workload.on_read_data(0, 0.0)
+        workload.reset_stats(0.0)
+
+
+class TestSequentialDmaWorkload:
+    def test_write_kind_only_serves_writes(self):
+        workload = SequentialDmaWorkload(ContiguousRegion(0, 4), RequestKind.WRITE)
+        assert workload.next_read(0.0) is None
+        assert workload.next_write(0.0) == 0
+
+    def test_wraps_around_region(self):
+        workload = SequentialDmaWorkload(ContiguousRegion(10, 3), RequestKind.WRITE)
+        addrs = [workload.next_write(0.0) for _ in range(5)]
+        assert addrs == [10, 11, 12, 10, 11]
+
+    def test_lines_done_counts_both_directions(self):
+        workload = SequentialDmaWorkload(ContiguousRegion(0, 8), RequestKind.READ)
+        workload.on_read_data(0, 0.0)
+        workload.on_write_posted(1, 0.0)
+        assert workload.lines_done == 2
+        workload.reset_stats(0.0)
+        assert workload.lines_done == 0
+
+
+class TestNvmeWorkloadStateMachine:
+    def make(self, qd=2, io_lines=4, gap=0.0):
+        return NvmeWorkload(
+            ContiguousRegion(0, 1 << 12),
+            io_size_bytes=io_lines * 64,
+            queue_depth=qd,
+            kind=RequestKind.WRITE,
+            t_io_gap=gap,
+        )
+
+    def test_queue_depth_bounds_inflight_ios(self):
+        workload = self.make(qd=2, io_lines=2)
+        addrs = [workload.next_write(0.0) for _ in range(5)]
+        # 2 IOs x 2 lines issueable; the 5th line belongs to IO #3.
+        assert addrs[:4] == [0, 1, 2, 3]
+        assert addrs[4] is None
+
+    def test_completion_frees_io_slot(self):
+        workload = self.make(qd=1, io_lines=2)
+        workload.next_write(0.0)
+        workload.next_write(0.0)
+        assert workload.next_write(0.0) is None
+        workload.on_write_posted(0, 1.0)
+        workload.on_write_posted(1, 2.0)
+        assert workload.ios_completed == 1
+        assert workload.next_write(2.0) is not None
+
+    def test_io_gap_enforced(self):
+        workload = self.make(qd=1, io_lines=1, gap=100.0)
+        workload.next_write(0.0)
+        workload.on_write_posted(0, 10.0)
+        assert workload.next_write(10.0) is None
+        assert workload.wake_time(10.0) == pytest.approx(110.0)
+        assert workload.next_write(111.0) is not None
+
+    def test_spurious_completion_raises(self):
+        workload = self.make()
+        with pytest.raises(RuntimeError):
+            workload.on_write_posted(0, 0.0)
+
+
+class TestNicWorkloadPauseHysteresis:
+    def make(self, buffer_lines=8, pfc=True):
+        return NicWorkload(
+            ContiguousRegion(0, 1 << 12),
+            buffer_bytes=buffer_lines * 64,
+            pfc_enabled=pfc,
+        )
+
+    def test_pause_then_resume_cycle(self):
+        workload = self.make(buffer_lines=8)  # hi=6, lo=2
+        for _ in range(6):
+            workload.on_ingress_line(0.0)
+        assert workload.paused
+        # Drain to the resume threshold.
+        drained = 0
+        while workload.paused:
+            assert workload.next_write(10.0 + drained) is not None
+            drained += 1
+        assert workload.queued_lines <= workload.pause_lo
+        assert workload.paused_time >= 0.0
+
+    def test_lossy_mode_never_pauses(self):
+        workload = self.make(buffer_lines=4, pfc=False)
+        for _ in range(10):
+            workload.on_ingress_line(0.0)
+        assert not workload.paused
+        assert workload.lines_dropped == 6
+        assert workload.loss_rate() == pytest.approx(0.6)
+
+    def test_reset_preserves_pause_state(self):
+        workload = self.make(buffer_lines=8)
+        for _ in range(6):
+            workload.on_ingress_line(5.0)
+        assert workload.paused
+        workload.reset_stats(100.0)
+        assert workload.paused  # state kept, accounting restarted
+        assert workload.pause_fraction(200.0) == pytest.approx(1.0)
+
+
+class TestHostHelpers:
+    def test_contiguous_regions_do_not_overlap(self):
+        host = Host(cascade_lake(page_scatter=False))
+        regions = [host.alloc_region(1000) for _ in range(5)]
+        spans = sorted(
+            (r.start_line, r.start_line + r.n_lines) for r in regions
+        )
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_add_core_lfb_override(self):
+        from repro.cpu.workloads import SequentialStreamWorkload
+
+        host = Host(cascade_lake())
+        workload = SequentialStreamWorkload(host.alloc_region(1000))
+        core = host.add_core(workload, lfb_size=17)
+        assert core.lfb.size == 17
+
+    def test_device_names_are_registry_keys(self):
+        host = Host(cascade_lake())
+        host.add_raw_dma(RequestKind.WRITE, name="a")
+        host.add_nvme(name="b")
+        host.add_nic(ingress_rate=1.0, name="c")
+        assert set(host.devices) == {"a", "b", "c"}
+
+    def test_run_twice_extends_measurement(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(1, store_fraction=0.0)
+        first = host.run(2_000.0, 5_000.0)
+        second = host.run(0.0, 5_000.0)  # continues from current time
+        assert second.elapsed_ns == pytest.approx(5_000.0)
+        assert second.lines_read > 0
+        assert host.sim.now == pytest.approx(12_000.0)

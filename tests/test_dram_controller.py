@@ -1,0 +1,259 @@
+"""Unit tests for the bank state machine and memory-controller channel."""
+
+import pytest
+
+from repro.dram.controller import Channel, MemoryController
+from repro.dram.timing import DDR4_2933
+from repro.sim.engine import Simulator
+from repro.sim.records import Request, RequestKind, RequestSource
+from repro.telemetry.counters import CounterHub
+
+
+def make_channel(**kw):
+    sim = Simulator()
+    hub = CounterHub()
+    defaults = dict(
+        channel_id=0,
+        timing=DDR4_2933,
+        n_banks=4,
+        rpq_size=16,
+        wpq_size=16,
+    )
+    defaults.update(kw)
+    channel = Channel(sim, hub, **defaults)
+    return sim, hub, channel
+
+
+def make_read(line=0, bank=0, row=0, tc="c2m"):
+    req = Request(RequestSource.C2M, RequestKind.READ, line, traffic_class=tc)
+    req.channel_id = 0
+    req.bank_id = bank
+    req.row_id = row
+    return req
+
+
+def make_write(line=0, bank=0, row=0, tc="c2m"):
+    req = Request(RequestSource.C2M, RequestKind.WRITE, line, traffic_class=tc)
+    req.channel_id = 0
+    req.bank_id = bank
+    req.row_id = row
+    return req
+
+
+class TestChannelReads:
+    def test_single_read_services_and_completes(self):
+        sim, hub, channel = make_channel()
+        done = []
+        req = make_read()
+        req.on_complete = lambda r: done.append(sim.now)
+        channel.reserve_read()
+        channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        assert done, "read never completed"
+        # Cold bank: ACT + CAS prep, then one transmission.
+        expected = DDR4_2933.t_act + DDR4_2933.t_cas + DDR4_2933.t_trans
+        assert done[0] == pytest.approx(expected, abs=0.01)
+        assert req.row_outcome == "miss"
+
+    def test_row_hit_skips_preparation(self):
+        sim, hub, channel = make_channel()
+        times = []
+        first = make_read(row=0)
+        second = make_read(line=1, row=0)
+        for req in (first, second):
+            req.on_complete = lambda r: times.append(sim.now)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        assert second.row_outcome == "hit"
+        # Back-to-back transmissions: exactly one t_trans apart.
+        assert times[1] - times[0] == pytest.approx(DDR4_2933.t_trans, abs=0.01)
+
+    def test_row_conflict_pays_precharge(self):
+        sim, hub, channel = make_channel()
+        first = make_read(row=0)
+        second = make_read(line=1, row=1)  # same bank, different row
+        done = []
+        for req in (first, second):
+            req.on_complete = lambda r: done.append(sim.now)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        assert second.row_outcome == "conflict"
+        assert channel.stats.pre_conflict_read == 1
+        assert channel.stats.act_read == 2
+
+    def test_bank_prep_overlaps_other_banks_transmission(self):
+        # Two reads to different banks, different rows: the second
+        # bank's ACT overlaps the first's prep + transmission, so the
+        # pair finishes in prep + 2 transfers, not 2 preps + 2 transfers.
+        sim, hub, channel = make_channel()
+        done = []
+        for bank in (0, 1):
+            req = make_read(line=bank, bank=bank, row=5)
+            req.on_complete = lambda r: done.append(sim.now)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        prep = DDR4_2933.t_act + DDR4_2933.t_cas
+        assert done[-1] == pytest.approx(prep + 2 * DDR4_2933.t_trans, abs=0.1)
+
+    def test_same_bank_preps_serialize(self):
+        sim, hub, channel = make_channel()
+        done = []
+        for row in (0, 1):
+            req = make_read(line=row, bank=0, row=row)
+            req.on_complete = lambda r: done.append(sim.now)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        prep1 = DDR4_2933.t_act + DDR4_2933.t_cas
+        prep2 = prep1 + DDR4_2933.t_pre
+        minimum = prep1 + DDR4_2933.t_trans + prep2 + DDR4_2933.t_trans
+        assert done[-1] >= minimum - 0.1
+
+    def test_oldest_ready_first_across_banks(self):
+        sim, hub, channel = make_channel()
+        order = []
+        for i, bank in enumerate((2, 1)):
+            req = make_read(line=i, bank=bank, row=0)
+            req.on_complete = lambda r, b=bank: order.append(b)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        assert order == [2, 1]  # arrival order, both ready simultaneously
+
+    def test_rpq_capacity_enforced(self):
+        sim, hub, channel = make_channel(rpq_size=2)
+        channel.reserve_read()
+        channel.reserve_read()
+        assert not channel.can_accept_read()
+        with pytest.raises(RuntimeError):
+            channel.reserve_read()
+
+
+class TestChannelWrites:
+    def test_write_completes_at_wpq_admission(self):
+        sim, hub, channel = make_channel()
+        admitted = []
+        req = make_write()
+        req.on_complete = lambda r: admitted.append(sim.now)
+        channel.reserve_write()
+        channel.enqueue_write(req)
+        # Completion callback fires synchronously at admission.
+        assert admitted == [0.0]
+        sim.run_until(1000.0)
+        assert channel.stats.lines_written == 1
+
+    def test_wpq_space_callback_fires_after_drain(self):
+        sim, hub, channel = make_channel()
+        freed = []
+        channel.on_wpq_space = lambda ch: freed.append(sim.now)
+        channel.reserve_write()
+        channel.enqueue_write(make_write())
+        sim.run_until(1000.0)
+        assert len(freed) == 1
+
+    def test_channel_switches_to_write_when_no_reads(self):
+        sim, hub, channel = make_channel()
+        channel.reserve_write()
+        channel.enqueue_write(make_write())
+        sim.run_until(1000.0)
+        assert channel.stats.switches_rtw == 1
+        assert channel.stats.lines_written == 1
+
+    def test_mode_returns_to_read_when_reads_arrive(self):
+        sim, hub, channel = make_channel()
+        channel.reserve_write()
+        channel.enqueue_write(make_write())
+        sim.run_until(1000.0)
+        assert channel.mode is RequestKind.WRITE
+        done = []
+        req = make_read()
+        req.on_complete = lambda r: done.append(sim.now)
+        channel.reserve_read()
+        channel.enqueue_read(req)
+        sim.run_until(2000.0)
+        assert done and channel.stats.switches_wtr == 1
+
+
+class TestReadPriority:
+    def test_reads_not_preempted_until_wpq_critical(self):
+        """A trickle of writes must not steal the channel from reads."""
+        sim, hub, channel = make_channel(wpq_size=16)
+        reads_done = []
+        for i in range(8):
+            req = make_read(line=i, bank=i % 4, row=0)
+            req.on_complete = lambda r: reads_done.append(sim.now)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+        channel.reserve_write()
+        channel.enqueue_write(make_write(bank=3, row=9))
+        sim.run_until(5000.0)
+        assert len(reads_done) == 8
+        # The single write drains only after reads are exhausted.
+        assert channel.stats.lines_written == 1
+
+    def test_write_overload_backpressures_not_starves(self):
+        sim, hub, channel = make_channel(wpq_size=8)
+        for i in range(8):
+            channel.reserve_write()
+            channel.enqueue_write(make_write(line=i, bank=i % 4, row=i))
+        assert not channel.can_accept_write()
+        sim.run_until(5000.0)
+        assert channel.can_accept_write()
+        assert channel.stats.lines_written == 8
+
+
+class TestMemoryController:
+    def test_assign_decodes_address(self):
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(sim, hub, DDR4_2933, n_channels=2, n_banks=16)
+        req = make_read(line=12345)
+        channel = mc.assign(req)
+        assert channel is mc.channels[req.channel_id]
+        assert req.bank_id >= 0 and req.row_id >= 0
+
+    def test_theoretical_bandwidth(self):
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(sim, hub, DDR4_2933, n_channels=2, n_banks=16)
+        assert mc.theoretical_bandwidth == pytest.approx(46.9, abs=0.1)
+
+    def test_class_lines_aggregate(self):
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(sim, hub, DDR4_2933, n_channels=1, n_banks=4)
+        req = make_read(tc="p2m")
+        mc.assign(req)
+        channel = mc.channels[0]
+        channel.reserve_read()
+        channel.enqueue_read(req)
+        sim.run_until(1000.0)
+        assert mc.class_lines("p2m", RequestKind.READ) == 1
+        assert mc.class_lines("p2m", RequestKind.WRITE) == 0
+
+    def test_row_miss_ratio_aggregation(self):
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(sim, hub, DDR4_2933, n_channels=1, n_banks=4)
+        channel = mc.channels[0]
+        for i, row in enumerate((0, 0, 0, 1)):
+            req = make_read(line=i, row=row)
+            channel.reserve_read()
+            channel.enqueue_read(req)
+            sim.run_until(sim.now + 200.0)
+        ratio = mc.row_miss_ratio("c2m", RequestKind.READ)
+        assert ratio == pytest.approx(0.5)  # first (miss) + last (conflict)
+
+    def test_reset_stats_clears_counts(self):
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(sim, hub, DDR4_2933, n_channels=1, n_banks=4)
+        channel = mc.channels[0]
+        channel.reserve_read()
+        channel.enqueue_read(make_read())
+        sim.run_until(1000.0)
+        mc.reset_stats(sim.now)
+        assert mc.total("lines_read") == 0

@@ -1,0 +1,65 @@
+"""Smoke tests that the example scripts stay runnable.
+
+Each example is imported as a module with its window constants patched
+down so the whole file runs in seconds; stdout is checked for the
+headline strings a reader is promised.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.WARMUP_NS, module.MEASURE_NS = 5_000.0, 12_000.0
+        module.main()
+        out = capsys.readouterr().out
+        assert "C2M degradation" in out
+        assert "Regime" in out
+        assert "blue" in out
+
+    def test_domain_calculator(self, capsys):
+        module = load_example("domain_calculator")
+        module.main()
+        out = capsys.readouterr().out
+        assert "T <= C x 64 / L" in out
+        assert "spare" in out
+        assert "c2m-readwrite" in out
+
+    def test_rdma_backpressure(self, capsys):
+        module = load_example("rdma_backpressure")
+        module.WARMUP_NS, module.MEASURE_NS = 10_000.0, 20_000.0
+        module.CORE_COUNTS = (0, 6)
+        module.main()
+        out = capsys.readouterr().out
+        assert "pfc_pause_frac" in out
+        assert "ib_write_bw" in out
+
+    def test_noisy_neighbor_storage(self, capsys):
+        module = load_example("noisy_neighbor_storage")
+        module.WARMUP_NS, module.MEASURE_NS = 5_000.0, 12_000.0
+        module.CORE_COUNTS = (2,)
+        module.main()
+        out = capsys.readouterr().out
+        assert "redis_deg" in out
+        assert "Domain analysis" in out
+
+    def test_hostcc_mitigation(self, capsys):
+        module = load_example("hostcc_mitigation")
+        module.WARMUP_NS, module.MEASURE_NS = 10_000.0, 25_000.0
+        module.main()
+        out = capsys.readouterr().out
+        assert "hostcc" in out
+        assert "mc-priority" in out

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness: runner, quadrants, reporting,
+and light figure builders."""
+
+import pytest
+
+from repro import Host, cascade_lake
+from repro.experiments.figures import FigureData, table1
+from repro.experiments.quadrants import QUADRANTS, quadrant_experiment, run_quadrant
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.runner import (
+    ColocationExperiment,
+    c2m_bandwidth_metric,
+    device_bandwidth_metric,
+    workload_ops_metric,
+)
+from repro.sim.records import RequestKind
+
+FAST = dict(warmup=8_000.0, measure=20_000.0)
+
+
+class TestMetrics:
+    def make_result(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(1, store_fraction=0.0)
+        host.add_raw_dma(RequestKind.WRITE, name="dma")
+        return host.run(FAST["warmup"], FAST["measure"])
+
+    def test_c2m_bandwidth_metric(self):
+        result = self.make_result()
+        assert c2m_bandwidth_metric()(result) == result.class_bandwidth("c2m")
+
+    def test_device_bandwidth_metric(self):
+        result = self.make_result()
+        assert device_bandwidth_metric("dma")(result) == result.device_bandwidth("dma")
+
+    def test_workload_ops_metric(self):
+        result = self.make_result()
+        assert workload_ops_metric("c2m")(result) == result.ops_rate("c2m")
+
+
+class TestColocationExperiment:
+    def make_experiment(self):
+        def build_c2m(host, n):
+            host.add_stream_cores(n, store_fraction=0.0)
+
+        def build_p2m(host):
+            host.add_raw_dma(RequestKind.WRITE, name="dma")
+
+        return ColocationExperiment(cascade_lake(), build_c2m, build_p2m)
+
+    def test_point_fields(self):
+        point = self.make_experiment().point(2, **FAST)
+        assert point.n_c2m_cores == 2
+        assert point.c2m_isolated > 0
+        assert point.p2m_isolated > 0
+        assert point.c2m_degradation >= 1.0
+        assert 0.9 <= point.p2m_degradation <= 1.1
+
+    def test_sweep_shares_p2m_isolation_run(self):
+        points = self.make_experiment().sweep((1, 2), **FAST)
+        assert points[0].p2m_isolated_run is points[1].p2m_isolated_run
+
+    def test_degradation_handles_zero(self):
+        point = self.make_experiment().point(1, **FAST)
+        point.c2m_colocated = 0.0
+        assert point.c2m_degradation == float("inf")
+
+
+class TestQuadrants:
+    def test_specs_cover_four_combinations(self):
+        combos = {
+            (spec.store_fraction, spec.p2m_kind) for spec in QUADRANTS.values()
+        }
+        assert combos == {
+            (0.0, RequestKind.WRITE),
+            (0.0, RequestKind.READ),
+            (1.0, RequestKind.WRITE),
+            (1.0, RequestKind.READ),
+        }
+
+    def test_describe(self):
+        assert QUADRANTS[3].describe() == "Q3: C2M-ReadWrite + P2M-Write"
+
+    def test_run_quadrant_returns_points(self):
+        points = run_quadrant(2, core_counts=(1,), **FAST)
+        assert len(points) == 1
+        assert points[0].colocated.class_bandwidth("p2m") > 0
+
+    def test_quadrant_experiment_p2m_direction(self):
+        experiment = quadrant_experiment(QUADRANTS[4])
+        run = experiment.run_p2m_isolated(**FAST)
+        assert run.lines_read_by_class["p2m"] > 0
+        assert run.lines_written_by_class.get("p2m", 0) == 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 7
+
+    def test_render_series(self):
+        out = render_series(
+            "S", "x", {"y1": [1.0, 2.0], "y2": [3.0, 4.0]}, [10, 20]
+        )
+        assert "y1" in out and "y2" in out
+        assert "10" in out and "20" in out
+
+    def test_float_formatting(self):
+        out = render_table("T", ["v"], [[123.456], [1.234], [0.0123], [0]])
+        assert "123" in out
+        assert "1.23" in out
+        assert "0.012" in out
+
+
+class TestFigureBuilders:
+    def test_table1_series(self):
+        data = table1()
+        assert set(data.series) == {"ice-lake", "cascade-lake"}
+        assert data.series["cascade-lake"][0] == 8  # cores
+        assert data.series["ice-lake"][3] == pytest.approx(102.4, abs=0.5)
+
+    def test_figure_data_add(self):
+        data = FigureData("figX", "t", "x", [1, 2])
+        data.add("s", (1.0, 2.0))
+        assert data.series["s"] == [1.0, 2.0]

@@ -1,0 +1,106 @@
+"""Tests for the §7 future-work extensions: hostCC-style congestion
+control and the P2M-priority MC write scheduler."""
+
+import pytest
+
+from repro import Host, RequestKind, cascade_lake
+from repro.ext import HostCongestionController
+
+WARMUP = 30_000.0
+MEASURE = 60_000.0
+
+
+def red_regime_host(p2m_priority=False):
+    host = Host(cascade_lake(p2m_write_priority=p2m_priority))
+    host.add_stream_cores(6, store_fraction=1.0)
+    host.add_raw_dma(RequestKind.WRITE)
+    return host
+
+
+class TestHostCongestionController:
+    def test_invalid_args(self):
+        host = red_regime_host()
+        with pytest.raises(ValueError):
+            HostCongestionController(host, target_latency_ns=0)
+        with pytest.raises(ValueError):
+            HostCongestionController(host, interval_ns=-1)
+
+    def test_idle_host_never_throttles(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(1, store_fraction=0.0)
+        host.add_raw_dma(RequestKind.WRITE)
+        controller = HostCongestionController(host, target_latency_ns=390.0)
+        host.run(10_000.0, 20_000.0)
+        assert not controller.throttling_active
+        assert controller.average_latency() < 390.0
+
+    def test_red_regime_engages_throttling(self):
+        host = red_regime_host()
+        controller = HostCongestionController(host, target_latency_ns=360.0)
+        host.run(WARMUP, MEASURE)
+        assert controller.throttling_active
+        assert max(controller.gap_history) > 0
+
+    def test_controller_protects_p2m(self):
+        """The hostCC trade: P2M-Write latency capped near target and
+        P2M throughput recovered, at C2M's expense."""
+        base_host = red_regime_host()
+        base = base_host.run(WARMUP, MEASURE)
+        ctrl_host = red_regime_host()
+        controller = HostCongestionController(ctrl_host, target_latency_ns=360.0)
+        ctrl = ctrl_host.run(WARMUP, MEASURE)
+        assert ctrl.latency("p2m_write", "p2m") < base.latency("p2m_write", "p2m")
+        assert ctrl.device_bandwidth("dma") > base.device_bandwidth("dma")
+        assert ctrl.class_bandwidth("c2m") < base.class_bandwidth("c2m")
+        assert controller.average_latency() > 0
+
+    def test_gap_bounded(self):
+        host = red_regime_host()
+        controller = HostCongestionController(
+            host, target_latency_ns=310.0, max_gap_ns=50.0
+        )
+        host.run(WARMUP, MEASURE)
+        assert max(controller.gap_history) <= 50.0
+
+    def test_throttles_only_selected_cores(self):
+        host = red_regime_host()
+        victim = host.cores[:2]
+        HostCongestionController(host, target_latency_ns=330.0, cores=victim)
+        host.run(WARMUP, MEASURE)
+        assert all(core.throttle_gap_ns > 0 for core in victim)
+        assert all(core.throttle_gap_ns == 0 for core in host.cores[2:])
+
+
+class TestP2mWritePriority:
+    def test_priority_reduces_p2m_write_latency(self):
+        base = red_regime_host(p2m_priority=False).run(WARMUP, MEASURE)
+        prio = red_regime_host(p2m_priority=True).run(WARMUP, MEASURE)
+        assert prio.latency("p2m_write", "p2m") < base.latency("p2m_write", "p2m")
+
+    def test_priority_off_is_default(self):
+        assert cascade_lake().p2m_write_priority is False
+
+    def test_priority_harmless_without_contention(self):
+        results = {}
+        for prio in (False, True):
+            host = Host(cascade_lake(p2m_write_priority=prio))
+            host.add_raw_dma(RequestKind.WRITE)
+            results[prio] = host.run(10_000.0, 20_000.0)
+        assert results[True].device_bandwidth("dma") == pytest.approx(
+            results[False].device_bandwidth("dma"), rel=0.02
+        )
+
+
+class TestCoreThrottleHook:
+    def test_throttle_gap_paces_issue(self):
+        def bandwidth(gap):
+            host = Host(cascade_lake())
+            (core,) = host.add_stream_cores(1, store_fraction=0.0)
+            core.throttle_gap_ns = gap
+            return host.run(5_000.0, 20_000.0).class_bandwidth("c2m")
+
+        free = bandwidth(0.0)
+        throttled = bandwidth(50.0)
+        assert throttled < 0.5 * free
+        # 50 ns spacing bounds throughput near 64 B / 50 ns.
+        assert throttled == pytest.approx(64 / 50.0, rel=0.15)

@@ -1,0 +1,134 @@
+"""Smoke coverage for every figure builder: tiny windows, structural
+assertions only (shapes are checked at real scale by the benchmarks).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import appendix, figures, netfigs
+
+TINY = dict(core_counts=(1, 2), warmup=3_000.0, measure=8_000.0)
+TINY_DCTCP = dict(core_counts=(2,), warmup=20_000.0, measure=30_000.0)
+
+
+def assert_wellformed(data, x_len):
+    assert data.figure_id
+    assert data.title
+    assert len(data.x_values) == x_len
+    assert data.series, "no series produced"
+    for name, values in data.series.items():
+        assert len(values) == x_len or name.startswith("bank_dev_cdf"), name
+        for v in values:
+            if isinstance(v, float):
+                assert not math.isinf(v), f"{name} has inf"
+
+
+class TestMainFigures:
+    def test_fig3(self):
+        data = figures.fig3(**TINY)
+        assert_wellformed(data, 2)
+        assert data.series["q1_regime"]  # regime labels present
+
+    def test_fig6(self):
+        data = figures.fig6(**TINY)
+        assert_wellformed(data, 2)
+
+    def test_fig7(self):
+        data = figures.fig7(**TINY)
+        assert_wellformed(data, 2)
+
+    def test_fig8(self):
+        data = figures.fig8(**TINY)
+        assert_wellformed(data, 2)
+
+    def test_fig11(self):
+        data = figures.fig11(**TINY)
+        assert_wellformed(data, 2)
+
+    def test_fig12(self):
+        data = figures.fig12(**TINY)
+        assert_wellformed(data, 2)
+
+    def test_fig1_ice_lake(self):
+        data = figures.fig1(core_counts=(4,), warmup=3_000.0, measure=8_000.0)
+        assert_wellformed(data, 1)
+
+    def test_fig2_ddio(self):
+        data = figures.fig2(core_counts=(2,), warmup=3_000.0, measure=8_000.0)
+        assert_wellformed(data, 1)
+
+
+class TestAppendixFigures:
+    def test_fig13(self):
+        assert_wellformed(appendix.fig13(**TINY), 2)
+
+    def test_fig14(self):
+        assert_wellformed(appendix.fig14(**TINY), 2)
+
+    def test_fig15(self):
+        data = appendix.fig15(core_counts=(2,), warmup=3_000.0, measure=8_000.0)
+        assert_wellformed(data, 1)
+
+    def test_fig16(self):
+        data = appendix.fig16(core_counts=(2,), warmup=3_000.0, measure=8_000.0)
+        assert_wellformed(data, 1)
+
+    def test_fig17(self):
+        data = appendix.fig17(core_counts=(2,), warmup=3_000.0, measure=8_000.0)
+        assert_wellformed(data, 1)
+
+
+class TestNetworkFigures:
+    def test_fig18(self):
+        assert_wellformed(netfigs.fig18(**TINY), 2)
+
+    def test_fig19(self):
+        assert_wellformed(netfigs.fig19(**TINY_DCTCP), 1)
+
+    def test_fig20(self):
+        assert_wellformed(netfigs.fig20(**TINY), 2)
+
+    def test_fig22(self):
+        data = netfigs.fig22(**TINY)
+        assert_wellformed(data, 2)
+        assert "pfc_pause_fraction" in data.series
+
+    def test_fig23(self):
+        data = netfigs.fig23(
+            core_counts=(2,), warmup=3_000.0, measure=5_000.0,
+            sample_interval_ns=500.0,
+        )
+        series = data.series["iio_occupancy_2_cores"]
+        assert len(series) == len(data.x_values) == 10
+        assert all(0 <= v <= 92 for v in series)
+
+    def test_fig25(self):
+        assert_wellformed(netfigs.fig25(**TINY_DCTCP), 1)
+
+    def test_fig26(self):
+        assert_wellformed(netfigs.fig26(**TINY_DCTCP), 1)
+
+    def test_fig27(self):
+        assert_wellformed(netfigs.fig27(**TINY), 2)
+
+    def test_fig28(self):
+        assert_wellformed(netfigs.fig28(**TINY), 2)
+
+    def test_fig29(self):
+        assert_wellformed(netfigs.fig29(**TINY_DCTCP), 1)
+
+    def test_fig30(self):
+        assert_wellformed(netfigs.fig30(**TINY_DCTCP), 1)
+
+
+class TestFigureDataErrors:
+    def test_unknown_app_rejected(self):
+        from repro.experiments.figures import _app_experiment
+        from repro.topology.presets import cascade_lake
+
+        experiment = _app_experiment(cascade_lake(), "memcached")
+        from repro import Host
+
+        with pytest.raises(ValueError):
+            experiment.build_c2m(Host(cascade_lake()), 1)

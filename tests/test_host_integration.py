@@ -1,0 +1,194 @@
+"""Host-level integration tests: end-to-end invariants on small windows.
+
+These exercise the full stack (cores -> CHA -> MC -> DRAM, devices ->
+IIO -> CHA -> MC) and check conservation, Little's-law consistency,
+and the paper's unloaded-latency calibration targets.
+"""
+
+import pytest
+
+from repro import Host, RequestKind, cascade_lake, ice_lake
+from repro.telemetry.littleslaw import littles_law_latency
+
+WARMUP = 10_000.0
+MEASURE = 30_000.0
+
+
+@pytest.fixture(scope="module")
+def single_core_read():
+    host = Host(cascade_lake())
+    host.add_stream_cores(1, store_fraction=0.0)
+    result = host.run(WARMUP, MEASURE)
+    return host, result
+
+
+@pytest.fixture(scope="module")
+def p2m_write_isolated():
+    host = Host(cascade_lake())
+    host.add_raw_dma(RequestKind.WRITE)
+    result = host.run(WARMUP, MEASURE)
+    return host, result
+
+
+class TestUnloadedCalibration:
+    def test_c2m_read_unloaded_latency_near_70ns(self, single_core_read):
+        """§4.2: the unloaded C2M-Read domain latency is ~70 ns."""
+        _, result = single_core_read
+        assert 55.0 <= result.latency("c2m_read") <= 85.0
+
+    def test_single_core_bandwidth_matches_bound(self, single_core_read):
+        """T = C x 64 / L for a fully-utilized LFB (§4.1)."""
+        _, result = single_core_read
+        credits = result.config.effective_lfb_size
+        bound = credits * 64 / result.latency("c2m_read")
+        assert result.class_bandwidth("c2m") == pytest.approx(bound, rel=0.05)
+
+    def test_lfb_fully_utilized(self, single_core_read):
+        _, result = single_core_read
+        assert result.lfb_avg_occupancy["c2m"] == pytest.approx(
+            result.config.effective_lfb_size, rel=0.02
+        )
+
+    def test_p2m_write_unloaded_latency_near_300ns(self, p2m_write_isolated):
+        """§4.2: the unloaded P2M-Write domain latency is ~300 ns."""
+        _, result = p2m_write_isolated
+        assert 260.0 <= result.latency("p2m_write", "p2m") <= 340.0
+
+    def test_p2m_write_spare_credits(self, p2m_write_isolated):
+        """§5.1: ~65 credits in use out of ~92 at the device rate."""
+        _, result = p2m_write_isolated
+        assert 55.0 <= result.iio_write_avg_occupancy <= 80.0
+
+    def test_p2m_write_achieves_device_rate(self, p2m_write_isolated):
+        _, result = p2m_write_isolated
+        assert result.device_bandwidth("dma") == pytest.approx(
+            result.config.device_rate, rel=0.03
+        )
+
+
+class TestConservation:
+    def test_c2m_readwrite_moves_equal_reads_and_writes(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=1.0)
+        result = host.run(WARMUP, MEASURE)
+        reads = result.lines_read_by_class["c2m"]
+        writes = result.lines_written_by_class["c2m"]
+        assert writes == pytest.approx(reads, rel=0.05)
+
+    def test_memory_bandwidth_is_sum_of_classes(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=0.0)
+        host.add_raw_dma(RequestKind.WRITE)
+        result = host.run(WARMUP, MEASURE)
+        total = sum(result.mem_bw_by_class.values())
+        assert result.mem_bw_total == pytest.approx(total, rel=1e-6)
+
+    def test_utilization_below_one(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(6, store_fraction=1.0)
+        host.add_raw_dma(RequestKind.WRITE)
+        result = host.run(WARMUP, MEASURE)
+        assert 0.0 < result.mem_bw_utilization <= 1.0
+
+    def test_device_lines_match_mc_lines(self):
+        host = Host(cascade_lake())
+        host.add_raw_dma(RequestKind.WRITE)
+        result = host.run(WARMUP, MEASURE)
+        mc_lines = result.lines_written_by_class["p2m"]
+        # Posted-credit pipeline skew is bounded by the IIO buffer size.
+        assert abs(result.device_lines["dma"] - mc_lines) <= 2 * 92
+
+
+class TestLittlesLawConsistency:
+    def test_lfb_occupancy_rate_latency_agree(self, single_core_read):
+        """The paper's L = O/R methodology must agree with the
+        simulator's ground-truth per-request latency."""
+        _, result = single_core_read
+        occupancy = result.lfb_avg_occupancy["c2m"]
+        rate = result.class_read_rate("c2m")
+        derived = littles_law_latency(occupancy, rate)
+        assert derived == pytest.approx(result.latency("c2m_read"), rel=0.05)
+
+    def test_iio_occupancy_rate_latency_agree(self, p2m_write_isolated):
+        _, result = p2m_write_isolated
+        rate = result.class_write_rate("p2m")
+        derived = littles_law_latency(result.iio_write_avg_occupancy, rate)
+        assert derived == pytest.approx(
+            result.latency("p2m_write", "p2m"), rel=0.05
+        )
+
+
+class TestScaling:
+    def test_read_bandwidth_grows_sublinearly(self):
+        results = []
+        for n in (1, 4):
+            host = Host(cascade_lake())
+            host.add_stream_cores(n, store_fraction=0.0)
+            results.append(host.run(WARMUP, MEASURE))
+        bw1 = results[0].class_bandwidth("c2m")
+        bw4 = results[1].class_bandwidth("c2m")
+        assert bw4 > 2 * bw1  # scales
+        assert bw4 < 4.2 * bw1  # but not superlinearly
+
+    def test_latency_grows_with_load(self):
+        lat = []
+        for n in (1, 6):
+            host = Host(cascade_lake())
+            host.add_stream_cores(n, store_fraction=0.0)
+            lat.append(host.run(WARMUP, MEASURE).latency("c2m_read"))
+        assert lat[1] > lat[0]
+
+    def test_pure_read_saturation_efficiency(self):
+        """Sequential reads should achieve high channel efficiency
+        (the paper's microbenchmark reaches >90% of theoretical)."""
+        host = Host(cascade_lake())
+        host.add_stream_cores(8, store_fraction=0.0)
+        host.add_raw_dma(RequestKind.READ)
+        result = host.run(WARMUP, MEASURE)
+        assert result.mem_bw_utilization > 0.85
+
+
+class TestHostConstruction:
+    def test_ice_lake_preset_runs(self):
+        host = Host(ice_lake())
+        host.add_stream_cores(4, store_fraction=0.0)
+        result = host.run(5_000.0, 10_000.0)
+        assert result.class_bandwidth("c2m") > 0
+        assert result.config.theoretical_mem_bandwidth == pytest.approx(102.4, abs=0.5)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            host = Host(cascade_lake(), seed=7)
+            host.add_stream_cores(2, store_fraction=0.5)
+            host.add_raw_dma(RequestKind.WRITE)
+            return host.run(5_000.0, 15_000.0)
+
+        a, b = run(), run()
+        assert a.mem_bw_total == b.mem_bw_total
+        assert a.latency("c2m_read") == b.latency("c2m_read")
+        assert a.lines_read == b.lines_read
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            host = Host(cascade_lake(), seed=seed)
+            host.add_stream_cores(2, store_fraction=0.0)
+            return host.run(5_000.0, 15_000.0)
+
+        assert run(1).lines_read != run(2).lines_read
+
+    def test_invalid_llc_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Host(cascade_lake(llc_mode="weird"))
+
+    def test_contiguous_regions_mode(self):
+        host = Host(cascade_lake(page_scatter=False))
+        host.add_stream_cores(1, store_fraction=0.0)
+        result = host.run(5_000.0, 10_000.0)
+        # Physically contiguous sequential stream: near-perfect row hits.
+        assert result.row_miss_ratio["c2m.read"] < 0.03
+
+    def test_page_scatter_raises_row_misses(self):
+        host = Host(cascade_lake(page_scatter=True))
+        host.add_stream_cores(1, store_fraction=0.0)
+        scattered = host.run(5_000.0, 10_000.0)
+        assert scattered.row_miss_ratio["c2m.read"] > 0.005

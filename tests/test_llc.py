@@ -1,0 +1,136 @@
+"""Unit tests for the LLC with DDIO way restriction."""
+
+import pytest
+
+from repro.uncore.llc import LastLevelCache
+
+
+def make(size_kb=64, ways=4, ddio_ways=2):
+    return LastLevelCache(size_kb * 1024, ways, ddio_ways)
+
+
+class TestBasics:
+    def test_geometry(self):
+        llc = make(size_kb=64, ways=4)
+        assert llc.size_bytes == 64 * 1024
+        assert llc.n_sets == 64 * 1024 // (4 * 64)
+
+    def test_ddio_capacity(self):
+        llc = make(size_kb=64, ways=4, ddio_ways=2)
+        assert llc.ddio_capacity_bytes == llc.size_bytes // 2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LastLevelCache(0, 4)
+        with pytest.raises(ValueError):
+            LastLevelCache(1024, 4, ddio_ways=5)
+
+
+class TestReads:
+    def test_miss_then_hit(self):
+        llc = make()
+        hit, _ = llc.lookup_read(42)
+        assert not hit
+        hit, _ = llc.lookup_read(42)
+        assert hit
+
+    def test_no_allocate_leaves_cache_unchanged(self):
+        llc = make()
+        llc.lookup_read(42, allocate=False)
+        hit, _ = llc.lookup_read(42)
+        assert not hit
+
+    def test_lru_eviction(self):
+        llc = make(size_kb=1, ways=2)  # 8 sets
+        n_sets = llc.n_sets
+        a, b, c = 0, n_sets, 2 * n_sets  # same set
+        llc.lookup_read(a)
+        llc.lookup_read(b)
+        llc.lookup_read(c)  # evicts a (LRU)
+        assert not llc.lookup_read(a)[0]
+        # b was made MRU... then a's re-install evicted it? touch order:
+        # after c: set = [c, b]; a misses and evicts b.
+
+    def test_clean_eviction_returns_none(self):
+        llc = make(size_kb=1, ways=1, ddio_ways=1)
+        _, evicted = llc.lookup_read(0)
+        _, evicted = llc.lookup_read(llc.n_sets)  # evicts line 0, clean
+        assert evicted is None
+
+    def test_miss_ratio(self):
+        llc = make()
+        llc.lookup_read(1)
+        llc.lookup_read(1)
+        assert llc.miss_ratio == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        llc = make()
+        llc.lookup_read(1)
+        llc.reset_stats()
+        assert llc.hits == 0 and llc.misses == 0
+
+
+class TestDdioWrites:
+    def test_alloc_then_hit(self):
+        llc = make()
+        outcome, evicted = llc.write_allocate_ddio(7)
+        assert outcome == "alloc" and evicted is None
+        outcome, _ = llc.write_allocate_ddio(7)
+        assert outcome == "hit"
+
+    def test_ddio_way_budget_evicts_dma_lines(self):
+        llc = make(size_kb=1, ways=4, ddio_ways=2)
+        n_sets = llc.n_sets
+        lines = [i * n_sets for i in range(3)]  # same set
+        llc.write_allocate_ddio(lines[0])
+        llc.write_allocate_ddio(lines[1])
+        _, evicted = llc.write_allocate_ddio(lines[2])
+        # Third DMA line exceeds the 2-way budget: the LRU DMA line
+        # (lines[0]) is evicted dirty even though plain ways are free.
+        assert evicted == lines[0]
+
+    def test_core_lines_not_victimized_by_ddio_budget(self):
+        llc = make(size_kb=1, ways=4, ddio_ways=2)
+        n_sets = llc.n_sets
+        core_line = 5 * n_sets
+        llc.lookup_read(core_line)
+        llc.write_allocate_ddio(0)
+        llc.write_allocate_ddio(n_sets)
+        _, evicted = llc.write_allocate_ddio(2 * n_sets)
+        assert evicted != core_line
+        assert llc.lookup_read(core_line)[0]
+
+    def test_thrash_generates_one_eviction_per_write(self):
+        """Steady state for buffers larger than the DDIO slice: every
+        DMA write evicts a dirty DMA line (same memory write volume as
+        DDIO-off, §2.1)."""
+        llc = make(size_kb=1, ways=4, ddio_ways=1)
+        n_sets = llc.n_sets
+        evictions = 0
+        for i in range(1, 50):
+            _, evicted = llc.write_allocate_ddio(i * n_sets)
+            if evicted is not None:
+                evictions += 1
+        assert evictions == 48  # all but the first
+
+    def test_small_buffer_fully_absorbed(self):
+        """A buffer within the DDIO slice hits after the first pass."""
+        llc = make(size_kb=64, ways=4, ddio_ways=2)
+        lines = range(0, 100)
+        for line in lines:
+            llc.write_allocate_ddio(line)
+        outcomes = [llc.write_allocate_ddio(line)[0] for line in lines]
+        assert all(o == "hit" for o in outcomes)
+
+
+class TestWritebackUpdate:
+    def test_resident_line_marked_dirty(self):
+        llc = make(size_kb=1, ways=1, ddio_ways=1)
+        llc.lookup_read(3)
+        assert llc.writeback_update(3)
+        _, evicted = llc.lookup_read(3 + llc.n_sets)
+        assert evicted == 3  # dirty eviction
+
+    def test_absent_line_returns_false(self):
+        llc = make()
+        assert not llc.writeback_update(99)

@@ -1,0 +1,155 @@
+"""Unit tests for the analytical latency model (§6)."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2933
+from repro.model.inputs import FormulaInputs
+from repro.model.read_latency import read_domain_latency, read_queueing_delay
+from repro.model.validation import ThroughputEstimate, signed_error
+from repro.model.write_latency import write_admission_delay, write_domain_latency
+
+
+def make_inputs(**kw):
+    defaults = dict(
+        p_fill_wpq=0.0,
+        n_waiting=0.0,
+        switches_wtr=0,
+        switches_rtw=0,
+        lines_read=1000,
+        lines_written=0,
+        o_rpq=1.0,
+        act_read=0,
+        act_write=0,
+        pre_conflict_read=0,
+        pre_conflict_write=0,
+    )
+    defaults.update(kw)
+    return FormulaInputs(**defaults)
+
+
+class TestReadFormula:
+    def test_unloaded_has_zero_queueing(self):
+        breakdown = read_queueing_delay(make_inputs(), DDR4_2933)
+        assert breakdown.total == pytest.approx(0.0)
+
+    def test_read_hol_term(self):
+        # (O_RPQ - 1) * t_Trans
+        breakdown = read_queueing_delay(make_inputs(o_rpq=11.0), DDR4_2933)
+        assert breakdown.read_hol == pytest.approx(10 * DDR4_2933.t_trans)
+
+    def test_write_hol_term(self):
+        # O_RPQ * (lines_written / lines_read) * t_Trans
+        inputs = make_inputs(o_rpq=4.0, lines_read=100, lines_written=300)
+        breakdown = read_queueing_delay(inputs, DDR4_2933)
+        assert breakdown.write_hol == pytest.approx(4 * 3 * DDR4_2933.t_trans)
+
+    def test_switching_term(self):
+        inputs = make_inputs(o_rpq=2.0, lines_read=100, switches_wtr=10)
+        breakdown = read_queueing_delay(inputs, DDR4_2933)
+        assert breakdown.switching == pytest.approx(2 * 0.1 * DDR4_2933.t_wtr)
+
+    def test_top_of_queue_term(self):
+        inputs = make_inputs(lines_read=100, act_read=50, pre_conflict_read=25)
+        breakdown = read_queueing_delay(inputs, DDR4_2933)
+        expected = (50 * DDR4_2933.t_act + 25 * DDR4_2933.t_pre) / 100
+        assert breakdown.top_of_queue == pytest.approx(expected)
+
+    def test_total_is_sum_of_components(self):
+        inputs = make_inputs(
+            o_rpq=5.0,
+            lines_read=100,
+            lines_written=50,
+            switches_wtr=5,
+            act_read=20,
+            pre_conflict_read=10,
+        )
+        breakdown = read_queueing_delay(inputs, DDR4_2933)
+        assert breakdown.total == pytest.approx(
+            breakdown.switching
+            + breakdown.write_hol
+            + breakdown.read_hol
+            + breakdown.top_of_queue
+        )
+
+    def test_latency_adds_constant(self):
+        inputs = make_inputs(o_rpq=3.0)
+        queueing = read_queueing_delay(inputs, DDR4_2933).total
+        assert read_domain_latency(70.0, inputs, DDR4_2933) == pytest.approx(
+            70.0 + queueing
+        )
+
+    def test_no_reads_means_no_queueing(self):
+        breakdown = read_queueing_delay(make_inputs(lines_read=0), DDR4_2933)
+        assert breakdown.total == 0.0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            read_domain_latency(-1.0, make_inputs(), DDR4_2933)
+
+
+class TestWriteFormula:
+    def test_no_fill_no_delay(self):
+        inputs = make_inputs(lines_written=100, n_waiting=50.0, p_fill_wpq=0.0)
+        assert write_admission_delay(inputs, DDR4_2933).total == 0.0
+
+    def test_delay_scales_with_fill_probability(self):
+        lo = make_inputs(
+            lines_written=100, lines_read=100, n_waiting=10.0, p_fill_wpq=0.25
+        )
+        hi = make_inputs(
+            lines_written=100, lines_read=100, n_waiting=10.0, p_fill_wpq=0.5
+        )
+        assert write_admission_delay(hi, DDR4_2933).total == pytest.approx(
+            2 * write_admission_delay(lo, DDR4_2933).total
+        )
+
+    def test_read_hol_dual_term(self):
+        # N_waiting * (lines_read / lines_written) * t_Trans, scaled by P.
+        inputs = make_inputs(
+            lines_written=100, lines_read=200, n_waiting=8.0, p_fill_wpq=1.0
+        )
+        breakdown = write_admission_delay(inputs, DDR4_2933)
+        assert breakdown.read_hol == pytest.approx(8 * 2 * DDR4_2933.t_trans)
+
+    def test_write_hol_dual_term(self):
+        inputs = make_inputs(lines_written=100, n_waiting=8.0, p_fill_wpq=1.0)
+        breakdown = write_admission_delay(inputs, DDR4_2933)
+        assert breakdown.write_hol == pytest.approx(7 * DDR4_2933.t_trans)
+
+    def test_switching_uses_rtw(self):
+        inputs = make_inputs(
+            lines_written=100, n_waiting=4.0, p_fill_wpq=1.0, switches_rtw=10
+        )
+        breakdown = write_admission_delay(inputs, DDR4_2933)
+        assert breakdown.switching == pytest.approx(4 * 0.1 * DDR4_2933.t_rtw)
+
+    def test_latency_adds_constant(self):
+        inputs = make_inputs(
+            lines_written=100, n_waiting=10.0, p_fill_wpq=0.5, lines_read=100
+        )
+        delay = write_admission_delay(inputs, DDR4_2933).total
+        assert write_domain_latency(300.0, inputs, DDR4_2933) == pytest.approx(
+            300.0 + delay
+        )
+
+
+class TestInputsValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            make_inputs(p_fill_wpq=1.5)
+
+    def test_negative_occupancy(self):
+        with pytest.raises(ValueError):
+            make_inputs(o_rpq=-1.0)
+
+
+class TestEstimates:
+    def test_signed_error(self):
+        assert signed_error(11.0, 10.0) == pytest.approx(0.1)
+        assert signed_error(9.0, 10.0) == pytest.approx(-0.1)
+        with pytest.raises(ValueError):
+            signed_error(1.0, 0.0)
+
+    def test_throughput_estimate_error(self):
+        estimate = ThroughputEstimate(estimated=12.0, measured=10.0)
+        assert estimate.error == pytest.approx(0.2)

@@ -1,0 +1,117 @@
+"""End-to-end validation of the analytical model against the simulator
+(the Fig. 11 claim on small windows)."""
+
+import pytest
+
+from repro import Host, RequestKind, cascade_lake
+from repro.model.inputs import FormulaInputs
+from repro.model.read_latency import read_domain_latency, read_queueing_delay
+from repro.model.validation import (
+    calibrate_read_constant,
+    calibrate_write_constant,
+    estimate_c2m_throughput,
+    estimate_p2m_throughput,
+)
+from repro.model.write_latency import write_domain_latency
+
+WARMUP = 15_000.0
+MEASURE = 40_000.0
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    config = cascade_lake()
+    timing = config.dram_timing
+    host = Host(config)
+    host.add_stream_cores(1, store_fraction=0.0)
+    unloaded_read = host.run(WARMUP, MEASURE)
+    host = Host(config)
+    host.add_raw_dma(RequestKind.WRITE)
+    unloaded_write = host.run(WARMUP, MEASURE)
+    return {
+        "config": config,
+        "timing": timing,
+        "c_read": calibrate_read_constant(unloaded_read, timing),
+        "c_write": calibrate_write_constant(unloaded_write, timing),
+    }
+
+
+def colocated_run(n_cores, store_fraction, p2m_kind):
+    host = Host(cascade_lake())
+    host.add_stream_cores(n_cores, store_fraction)
+    host.add_raw_dma(p2m_kind)
+    return host.run(WARMUP, MEASURE)
+
+
+class TestCalibration:
+    def test_read_constant_near_unloaded_latency(self, calibration):
+        assert 50.0 <= calibration["c_read"] <= 80.0
+
+    def test_write_constant_near_unloaded_latency(self, calibration):
+        assert 260.0 <= calibration["c_write"] <= 330.0
+
+
+class TestFormulaAccuracy:
+    @pytest.mark.parametrize("n_cores", [1, 3, 6])
+    def test_quadrant1_read_latency_within_15pct(self, calibration, n_cores):
+        run = colocated_run(n_cores, 0.0, RequestKind.WRITE)
+        inputs = FormulaInputs.from_run(run)
+        estimated = read_domain_latency(
+            calibration["c_read"], inputs, calibration["timing"]
+        )
+        measured = run.latency("c2m_read")
+        assert estimated == pytest.approx(measured, rel=0.15)
+
+    @pytest.mark.parametrize("n_cores", [1, 3, 6])
+    def test_quadrant1_c2m_throughput_within_15pct(self, calibration, n_cores):
+        run = colocated_run(n_cores, 0.0, RequestKind.WRITE)
+        estimate = estimate_c2m_throughput(run, calibration["c_read"], n_cores)
+        assert abs(estimate.error) < 0.15
+
+    def test_quadrant1_p2m_estimate_matches_offered_load(self, calibration):
+        """Blue regime: the formula's P2M bound exceeds the offered
+        rate, so the estimate equals the device rate."""
+        run = colocated_run(2, 0.0, RequestKind.WRITE)
+        estimate = estimate_p2m_throughput(run, calibration["c_write"], is_write=True)
+        assert estimate.estimated == pytest.approx(
+            run.config.device_rate, rel=0.01
+        )
+        assert abs(estimate.error) < 0.1
+
+    def test_quadrant3_p2m_write_latency_tracks_formula(self, calibration):
+        run = colocated_run(6, 1.0, RequestKind.WRITE)
+        inputs = FormulaInputs.from_run(run)
+        estimated = write_domain_latency(
+            calibration["c_write"], inputs, calibration["timing"]
+        )
+        measured = run.latency("p2m_write", "p2m")
+        assert estimated == pytest.approx(measured, rel=0.30)
+
+    def test_write_hol_dominates_quadrant1_single_core(self, calibration):
+        """Fig. 12(a): WriteHoL is the dominant component at 1 core."""
+        run = colocated_run(1, 0.0, RequestKind.WRITE)
+        breakdown = read_queueing_delay(
+            FormulaInputs.from_run(run), calibration["timing"]
+        )
+        assert breakdown.write_hol >= breakdown.read_hol
+
+    def test_read_hol_grows_with_cores_quadrant1(self, calibration):
+        """Fig. 12(a): ReadHoL grows with C2M core count."""
+        small = read_queueing_delay(
+            FormulaInputs.from_run(colocated_run(1, 0.0, RequestKind.WRITE)),
+            calibration["timing"],
+        )
+        large = read_queueing_delay(
+            FormulaInputs.from_run(colocated_run(6, 0.0, RequestKind.WRITE)),
+            calibration["timing"],
+        )
+        assert large.read_hol > small.read_hol
+
+    def test_no_write_hol_in_quadrant2(self, calibration):
+        """Fig. 12(b): quadrant 2 has no writes, hence no WriteHoL."""
+        run = colocated_run(3, 0.0, RequestKind.READ)
+        breakdown = read_queueing_delay(
+            FormulaInputs.from_run(run), calibration["timing"]
+        )
+        assert breakdown.write_hol == pytest.approx(0.0, abs=1.0)
+        assert breakdown.switching == pytest.approx(0.0, abs=1.0)

@@ -1,0 +1,165 @@
+"""Tests for the RDMA (RoCE/PFC) and DCTCP case-study models."""
+
+import pytest
+
+from repro import Host, cascade_lake
+from repro.net.dctcp import CopyWorkload, DctcpReceiver, SocketBuffers
+from repro.net.rdma import (
+    add_rdma_read_traffic,
+    add_rdma_write_traffic,
+    gbps_to_bytes_per_ns,
+)
+from repro.dram.region import ContiguousRegion
+
+WARMUP = 20_000.0
+MEASURE = 50_000.0
+
+
+class TestRdmaHelpers:
+    def test_rate_conversion(self):
+        assert gbps_to_bytes_per_ns(100.0) == pytest.approx(12.5)
+        assert gbps_to_bytes_per_ns(98.0) == pytest.approx(12.25)
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_ns(-1.0)
+
+    def test_write_traffic_reaches_line_rate(self):
+        host = Host(cascade_lake())
+        add_rdma_write_traffic(host, rate_gbps=98.0)
+        result = host.run(WARMUP, MEASURE)
+        assert result.device_bandwidth("nic") == pytest.approx(12.25, rel=0.05)
+        assert result.lines_written_by_class["p2m"] > 0
+
+    def test_read_traffic_reaches_line_rate(self):
+        host = Host(cascade_lake())
+        add_rdma_read_traffic(host, rate_gbps=98.0)
+        result = host.run(WARMUP, MEASURE)
+        assert result.device_bandwidth("nic") == pytest.approx(12.25, rel=0.1)
+        assert result.lines_read_by_class["p2m"] > 0
+
+    def test_blue_regime_no_pfc_pauses(self):
+        """Quadrant-1-like: C2M-Read + RDMA writes — PFC stays quiet."""
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=0.0)
+        add_rdma_write_traffic(host)
+        result = host.run(WARMUP, MEASURE)
+        assert result.extra["nic.pause_fraction"] < 0.05
+        assert result.device_bandwidth("nic") == pytest.approx(12.25, rel=0.05)
+
+    def test_red_regime_inflates_p2m_write_latency(self):
+        """Quadrant-3-like at high load: the P2M-Write domain inflates
+        and IIO credit usage climbs (Appendix D.1)."""
+        host = Host(cascade_lake())
+        host.add_stream_cores(6, store_fraction=1.0)
+        add_rdma_write_traffic(host, buffer_bytes=256 << 10)
+        result = host.run(60_000.0, 100_000.0)
+        assert result.latency("p2m_write", "p2m") > 1.3 * 300.0
+        assert result.iio_write_avg_occupancy > 75
+
+    def test_pfc_pauses_when_credits_bind(self):
+        """When host backpressure exhausts the (here: reduced) IIO
+        write credits, the NIC buffer fills and PFC pauses the wire
+        without loss (Appendix D.1, Fig. 23)."""
+        host = Host(cascade_lake(iio_write_entries=48))
+        host.add_stream_cores(6, store_fraction=1.0)
+        nic = add_rdma_write_traffic(host, buffer_bytes=256 << 10)
+        result = host.run(60_000.0, 100_000.0)
+        assert result.device_bandwidth("nic") < 12.25 * 0.97
+        assert result.extra["nic.pause_fraction"] > 0.0
+        assert nic.loss_rate() == 0.0  # lossless
+
+
+class TestSocketBuffers:
+    def test_claim_ordering(self):
+        sock = SocketBuffers(1024)
+        sock.delivered = 3
+        assert sock.claimable()
+        assert [sock.claim() for _ in range(3)] == [0, 1, 2]
+        assert not sock.claimable()
+
+    def test_backlog(self):
+        sock = SocketBuffers(1024)
+        sock.delivered = 10
+        sock.copied = 4
+        assert sock.backlog == 6
+
+
+class TestCopyWorkload:
+    def make(self, delivered=100):
+        sock = SocketBuffers(1 << 20)
+        sock.delivered = delivered
+        workload = CopyWorkload(
+            sock,
+            src_region=ContiguousRegion(0, 1 << 16),
+            dst_region=ContiguousRegion(1 << 20, 1 << 16),
+            mlp=4,
+            per_packet_compute_ns=0.0,
+        )
+        return sock, workload
+
+    def test_store_waits_for_its_load(self):
+        sock, workload = self.make()
+        first = workload.try_next(0.0)
+        second = workload.try_next(0.0)
+        assert first is not None and second is not None
+        # Loads issue back-to-back; the store depends on load data.
+        assert first[1] == 0  # OP_LOAD
+        assert second[1] == 0  # OP_LOAD
+        workload.on_complete(50.0, was_store=False)
+        third = workload.try_next(50.0)
+        assert third is not None and third[1] == 2  # OP_NT_STORE
+
+    def test_copy_completion_counts_on_store(self):
+        sock, workload = self.make()
+        workload.try_next(0.0)
+        workload.try_next(0.0)
+        workload.on_complete(10.0, was_store=False)
+        assert workload.lines_copied == 0
+        workload.on_complete(20.0, was_store=True)
+        assert workload.lines_copied == 1
+        assert sock.copied == 1
+
+    def test_idles_without_delivered_data(self):
+        sock, workload = self.make(delivered=0)
+        assert workload.try_next(0.0) is None
+
+
+class TestDctcpReceiver:
+    def test_isolated_receiver_saturates_link(self):
+        host = Host(cascade_lake())
+        receiver = DctcpReceiver(host)
+        result = host.run(60_000.0, 100_000.0)
+        assert receiver.goodput(result.elapsed_ns) == pytest.approx(12.5, rel=0.05)
+        assert receiver.loss_rate() == 0.0
+
+    def test_copy_generates_c2m_traffic(self):
+        host = Host(cascade_lake())
+        DctcpReceiver(host)
+        result = host.run(60_000.0, 100_000.0)
+        # Copy moves ~2x the wire rate through memory (load + nt-store).
+        assert result.class_bandwidth("copy") == pytest.approx(25.0, rel=0.12)
+
+    def test_blue_regime_flow_control(self):
+        """C2M contention slows the copy; the sender rate follows it
+        down without packet loss (Appendix D.2, blue regime)."""
+        host = Host(cascade_lake())
+        host.add_stream_cores(3, store_fraction=0.0, traffic_class="mem")
+        receiver = DctcpReceiver(host)
+        result = host.run(60_000.0, 100_000.0)
+        assert receiver.goodput(result.elapsed_ns) < 12.0
+        assert receiver.loss_rate() < 0.01
+
+    def test_memory_app_degrades_alongside(self):
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=0.0, traffic_class="mem")
+        iso = host.run(WARMUP, MEASURE).class_bandwidth("mem")
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=0.0, traffic_class="mem")
+        DctcpReceiver(host)
+        colocated = host.run(60_000.0, 100_000.0).class_bandwidth("mem")
+        assert iso / colocated > 1.15
+
+    def test_rate_history_recorded(self):
+        host = Host(cascade_lake())
+        receiver = DctcpReceiver(host, rtt_ns=5_000.0)
+        host.run(20_000.0, 20_000.0)
+        assert len(receiver.rate_history) >= 6

@@ -1,0 +1,255 @@
+"""Unit tests for the PCIe link and DMA devices."""
+
+import pytest
+
+from repro.dram.controller import MemoryController
+from repro.dram.region import ContiguousRegion
+from repro.dram.timing import DDR4_2933
+from repro.pcie.device import DmaDevice, SequentialDmaWorkload
+from repro.pcie.link import PcieLink
+from repro.pcie.nic import Nic, NicWorkload
+from repro.pcie.nvme import NvmeDevice, NvmeWorkload
+from repro.sim.engine import Simulator
+from repro.sim.records import CACHELINE_BYTES, RequestKind
+from repro.telemetry.counters import CounterHub
+from repro.uncore.cha import CHA
+from repro.uncore.iio import IIO
+
+
+def make_fabric(write_entries=16, read_entries=16):
+    sim = Simulator()
+    hub = CounterHub()
+    mc = MemoryController(sim, hub, DDR4_2933, n_channels=1, n_banks=8)
+    cha = CHA(sim, hub, mc, write_capacity=64, read_capacity=64)
+    iio = IIO(sim, hub, write_entries=write_entries, read_entries=read_entries)
+    iio.cha_admission = cha.request_admission
+    link = PcieLink(sim, bandwidth_bytes_per_ns=16.0, t_prop=100.0)
+    return sim, hub, mc, cha, iio, link
+
+
+class TestPcieLink:
+    def test_serialization_paces_upstream(self):
+        sim = Simulator()
+        link = PcieLink(sim, bandwidth_bytes_per_ns=16.0, t_prop=100.0)
+        a = link.send_upstream(64)
+        b = link.send_upstream(64)
+        assert a == pytest.approx(104.0)
+        assert b == pytest.approx(108.0)
+
+    def test_directions_are_independent(self):
+        sim = Simulator()
+        link = PcieLink(sim, bandwidth_bytes_per_ns=16.0, t_prop=0.0)
+        link.send_upstream(64)
+        serialized, arrival = link.send_downstream(64)
+        assert serialized == pytest.approx(4.0)
+
+    def test_byte_accounting(self):
+        sim = Simulator()
+        link = PcieLink(sim, bandwidth_bytes_per_ns=16.0)
+        link.send_upstream(64)
+        link.send_downstream(128)
+        assert link.bytes_upstream == 64
+        assert link.bytes_downstream == 128
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PcieLink(sim, 0.0)
+        with pytest.raises(ValueError):
+            PcieLink(sim, 1.0, t_prop=-1)
+
+
+class TestDmaDevice:
+    def test_write_stream_delivers_at_device_rate(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=64)
+        workload = SequentialDmaWorkload(
+            ContiguousRegion(0, 1 << 20), RequestKind.WRITE
+        )
+        device = DmaDevice(sim, hub, iio, link, mc, workload, device_rate=8.0)
+        device.start()
+        sim.run_until(50_000.0)
+        rate = workload.lines_done * CACHELINE_BYTES / 50_000.0
+        assert rate == pytest.approx(8.0, rel=0.1)
+
+    def test_write_stream_respects_iio_credits(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=4)
+        workload = SequentialDmaWorkload(
+            ContiguousRegion(0, 1 << 20), RequestKind.WRITE
+        )
+        device = DmaDevice(sim, hub, iio, link, mc, workload, device_rate=None)
+        device.start()
+        sim.run_until(20_000.0)
+        assert iio.write_occ.max_seen <= 4
+        assert workload.lines_done > 0
+
+    def test_read_stream_round_trips(self):
+        sim, hub, mc, cha, iio, link = make_fabric(read_entries=8)
+        workload = SequentialDmaWorkload(
+            ContiguousRegion(0, 1 << 20), RequestKind.READ
+        )
+        device = DmaDevice(sim, hub, iio, link, mc, workload, device_rate=4.0)
+        device.start()
+        sim.run_until(50_000.0)
+        assert workload.lines_done > 0
+        stat = hub.latency("domain.p2m_read.p2m")
+        assert stat.count > 0
+        # Non-posted round trip: at least two propagations + memory.
+        assert stat.average > 2 * link.t_prop
+
+    def test_p2m_write_domain_latency_includes_pcie(self):
+        sim, hub, mc, cha, iio, link = make_fabric()
+        workload = SequentialDmaWorkload(
+            ContiguousRegion(0, 1 << 20), RequestKind.WRITE
+        )
+        device = DmaDevice(sim, hub, iio, link, mc, workload, device_rate=1.0)
+        device.start()
+        sim.run_until(20_000.0)
+        stat = hub.latency("domain.p2m_write.p2m")
+        assert stat.average > link.t_prop  # credit allocated at initiation
+
+
+class TestNvme:
+    def test_io_completion_accounting(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=64)
+        device = NvmeDevice(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            io_size_bytes=4096,
+            queue_depth=2,
+            kind=RequestKind.WRITE,
+            device_rate=8.0,
+        )
+        device.start()
+        sim.run_until(100_000.0)
+        assert device.ios_completed > 0
+        assert device.lines_done == pytest.approx(
+            device.ios_completed * 64, abs=2 * 64
+        )
+
+    def test_queue_depth_one_with_gap_is_low_load(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=64)
+        device = NvmeDevice(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            io_size_bytes=4096,
+            queue_depth=1,
+            kind=RequestKind.WRITE,
+            device_rate=8.0,
+            t_io_gap=5_000.0,
+        )
+        device.start()
+        sim.run_until(100_000.0)
+        # With a 5 us gap per 4 KB IO, occupancy stays far below limit.
+        assert iio.write_occ.average(sim.now) < 8
+        assert device.ios_completed >= 10
+
+    def test_invalid_io_size(self):
+        with pytest.raises(ValueError):
+            NvmeWorkload(ContiguousRegion(0, 100), 100, 1, RequestKind.WRITE)
+        with pytest.raises(ValueError):
+            NvmeWorkload(ContiguousRegion(0, 100), 4096, 0, RequestKind.WRITE)
+
+
+class TestNic:
+    def test_ingress_delivers_to_memory(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=64)
+        nic = Nic(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            ingress_rate=4.0,
+        )
+        nic.start()
+        sim.run_until(50_000.0)
+        rate = nic.rx.lines_delivered * CACHELINE_BYTES / 50_000.0
+        assert rate == pytest.approx(4.0, rel=0.1)
+        assert nic.loss_rate() == 0.0
+
+    def test_pfc_pauses_instead_of_dropping(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=2)
+        mc.channels[0].wpq_size = 2
+        nic = Nic(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            ingress_rate=16.0,
+            buffer_bytes=64 * 64,  # tiny buffer
+            pfc_enabled=True,
+        )
+        nic.start()
+        sim.run_until(50_000.0)
+        assert nic.pause_fraction() > 0.0
+        assert nic.loss_rate() == 0.0
+
+    def test_lossy_mode_drops_on_overflow(self):
+        sim, hub, mc, cha, iio, link = make_fabric(write_entries=2)
+        mc.channels[0].wpq_size = 2
+        nic = Nic(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            ingress_rate=16.0,
+            buffer_bytes=64 * 64,
+            pfc_enabled=False,
+        )
+        nic.start()
+        sim.run_until(50_000.0)
+        assert nic.loss_rate() > 0.0
+
+    def test_egress_reads(self):
+        sim, hub, mc, cha, iio, link = make_fabric(read_entries=32)
+        nic = Nic(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            egress_read_rate=4.0,
+        )
+        nic.start()
+        sim.run_until(50_000.0)
+        rate = nic.rx.lines_read * CACHELINE_BYTES / 50_000.0
+        assert rate == pytest.approx(4.0, rel=0.15)
+
+    def test_set_ingress_rate_restarts_flow(self):
+        sim, hub, mc, cha, iio, link = make_fabric()
+        nic = Nic(
+            sim,
+            hub,
+            iio,
+            link,
+            mc,
+            region=ContiguousRegion(0, 1 << 20),
+            ingress_rate=0.0,
+        )
+        nic.start()
+        sim.run_until(1_000.0)
+        assert nic.rx.lines_arrived == 0
+        nic.set_ingress_rate(4.0)
+        sim.run_until(10_000.0)
+        assert nic.rx.lines_arrived > 0
+
+    def test_pause_fraction_window(self):
+        workload = NicWorkload(ContiguousRegion(0, 1000), buffer_bytes=640)
+        workload.pause_hi = 1
+        workload.on_ingress_line(0.0)
+        assert workload.paused
+        assert workload.pause_fraction(10.0) == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Tests for host configuration presets (Table 1)."""
+
+import pytest
+
+from repro.topology.presets import HostConfig, cascade_lake, ice_lake
+
+
+class TestCascadeLake:
+    def test_matches_table1(self):
+        config = cascade_lake()
+        assert config.n_cores == 8
+        assert config.n_channels == 2
+        assert config.dram_speed_mt_s == 2933
+        assert config.theoretical_mem_bandwidth == pytest.approx(46.9, abs=0.1)
+        assert config.pcie_bandwidth == 16.0
+        assert config.llc_size_bytes == 24 << 20
+
+    def test_paper_credit_counts(self):
+        config = cascade_lake()
+        assert 10 <= config.lfb_size <= 12
+        assert config.iio_write_entries == 92
+        assert config.iio_read_entries > 164
+
+
+class TestIceLake:
+    def test_matches_table1(self):
+        config = ice_lake()
+        assert config.n_cores == 32
+        assert config.n_channels == 4
+        assert config.dram_speed_mt_s == 3200
+        assert config.theoretical_mem_bandwidth == pytest.approx(102.4, abs=0.5)
+        assert config.pcie_bandwidth == 32.0
+        assert config.llc_size_bytes == 48 << 20
+
+    def test_scaled_uncore_resources(self):
+        ice, cascade = ice_lake(), cascade_lake()
+        assert ice.cha_write_capacity > cascade.cha_write_capacity
+        assert ice.iio_write_entries > cascade.iio_write_entries
+
+
+class TestOverrides:
+    def test_kwargs_override(self):
+        config = cascade_lake(lfb_size=14, n_banks=64)
+        assert config.lfb_size == 14
+        assert config.n_banks == 64
+        assert config.n_cores == 8  # untouched
+
+    def test_with_overrides_returns_copy(self):
+        base = cascade_lake()
+        derived = base.with_overrides(wpq_size=24)
+        assert derived.wpq_size == 24
+        assert base.wpq_size != 24 or base.wpq_size == 48
+
+    def test_config_is_frozen(self):
+        config = cascade_lake()
+        with pytest.raises(Exception):
+            config.n_cores = 99  # type: ignore[misc]
+
+
+class TestPrefetchModel:
+    def test_effective_lfb_without_prefetch(self):
+        config = cascade_lake(prefetch_enabled=False)
+        assert config.effective_lfb_size == config.lfb_size
+
+    def test_effective_lfb_with_prefetch(self):
+        config = cascade_lake(prefetch_enabled=True, prefetch_degree=6)
+        assert config.effective_lfb_size == config.lfb_size + 6
+
+    def test_prefetch_shifts_absolute_not_ratio(self):
+        """§2.2: prefetching improves isolated and colocated throughput
+        but leaves the degradation ratio roughly unchanged."""
+        from repro import Host, RequestKind
+
+        def degradation(prefetch):
+            config = cascade_lake(prefetch_enabled=prefetch)
+            host = Host(config)
+            host.add_stream_cores(2, store_fraction=0.0)
+            iso = host.run(8_000.0, 20_000.0).class_bandwidth("c2m")
+            host = Host(config)
+            host.add_stream_cores(2, store_fraction=0.0)
+            host.add_raw_dma(RequestKind.WRITE)
+            co = host.run(8_000.0, 20_000.0).class_bandwidth("c2m")
+            return iso, iso / co
+
+        (iso_off, deg_off), (iso_on, deg_on) = degradation(False), degradation(True)
+        assert iso_on > iso_off  # absolute throughput improves
+        assert deg_on == pytest.approx(deg_off, abs=0.35)
+
+
+class TestDramTimingProperty:
+    def test_timing_derived_from_speed(self):
+        fast = HostConfig(name="x", n_cores=1, core_freq_ghz=3.0, lfb_size=10,
+                          dram_speed_mt_s=3200)
+        slow = HostConfig(name="y", n_cores=1, core_freq_ghz=3.0, lfb_size=10,
+                          dram_speed_mt_s=2400)
+        assert fast.dram_timing.t_trans < slow.dram_timing.t_trans

@@ -1,0 +1,163 @@
+"""Integration tests for the paper's headline phenomena.
+
+Each test reproduces one claim from §2/§5 on a small measurement
+window; these are the load-bearing assertions of the reproduction.
+"""
+
+import pytest
+
+from repro import Host, RequestKind, cascade_lake
+from repro.core.regimes import Regime
+from repro.experiments.quadrants import run_quadrant
+
+WARMUP = 15_000.0
+MEASURE = 40_000.0
+
+
+def run_pair(n_cores, store_fraction, p2m_kind, warmup=WARMUP, measure=MEASURE):
+    """(isolated C2M, isolated P2M, colocated) runs for one point."""
+    host = Host(cascade_lake())
+    host.add_stream_cores(n_cores, store_fraction)
+    iso_c2m = host.run(warmup, measure)
+    host = Host(cascade_lake())
+    host.add_raw_dma(p2m_kind)
+    iso_p2m = host.run(warmup, measure)
+    host = Host(cascade_lake())
+    host.add_stream_cores(n_cores, store_fraction)
+    host.add_raw_dma(p2m_kind)
+    colocated = host.run(warmup, measure)
+    return iso_c2m, iso_p2m, colocated
+
+
+class TestBlueRegime:
+    """Quadrant 1 at low load: C2M degrades, P2M does not, memory
+    bandwidth is far from saturated (§2.2, §5.1)."""
+
+    @pytest.fixture(scope="class")
+    def q1_two_cores(self):
+        return run_pair(2, 0.0, RequestKind.WRITE)
+
+    def test_c2m_degrades(self, q1_two_cores):
+        iso, _, co = q1_two_cores
+        degradation = iso.class_bandwidth("c2m") / co.class_bandwidth("c2m")
+        assert 1.15 <= degradation <= 2.2
+
+    def test_p2m_unaffected(self, q1_two_cores):
+        _, iso_p2m, co = q1_two_cores
+        degradation = iso_p2m.device_bandwidth("dma") / co.device_bandwidth("dma")
+        assert degradation == pytest.approx(1.0, abs=0.05)
+
+    def test_memory_bandwidth_unsaturated(self, q1_two_cores):
+        _, _, co = q1_two_cores
+        assert co.mem_bw_utilization < 0.75
+
+    def test_c2m_read_latency_inflates(self, q1_two_cores):
+        iso, _, co = q1_two_cores
+        inflation = co.latency("c2m_read") / iso.latency("c2m_read")
+        assert 1.1 <= inflation <= 2.2
+
+    def test_p2m_write_latency_does_not_inflate_much(self, q1_two_cores):
+        """§5.1: the P2M-Write domain excludes DRAM execution, so its
+        latency stays near the unloaded ~300 ns at low C2M load."""
+        _, iso_p2m, co = q1_two_cores
+        bump = co.latency("p2m_write", "p2m") - iso_p2m.latency("p2m_write", "p2m")
+        assert bump < 40.0
+
+    def test_spare_credits_mask_inflation(self, q1_two_cores):
+        _, _, co = q1_two_cores
+        assert co.iio_write_avg_occupancy < 0.95 * co.config.iio_write_entries
+
+    def test_row_miss_ratio_increases_when_colocated(self, q1_two_cores):
+        iso, _, co = q1_two_cores
+        assert (
+            co.row_miss_ratio["c2m.read"] > iso.row_miss_ratio["c2m.read"]
+        )
+
+
+class TestRedRegime:
+    """Quadrant 3 at high load: both sides degrade; WPQ backpressure
+    hits the P2M-Write domain; CHA admission delays appear (§5.2)."""
+
+    @pytest.fixture(scope="class")
+    def q3_six_cores(self):
+        # The write backlog that defines the red regime accumulates
+        # over tens of microseconds; use a longer window.
+        return run_pair(6, 1.0, RequestKind.WRITE, warmup=40_000.0, measure=80_000.0)
+
+    def test_p2m_degrades(self, q3_six_cores):
+        _, iso_p2m, co = q3_six_cores
+        degradation = iso_p2m.device_bandwidth("dma") / co.device_bandwidth("dma")
+        assert degradation > 1.15
+
+    def test_p2m_write_latency_inflates_substantially(self, q3_six_cores):
+        _, iso_p2m, co = q3_six_cores
+        inflation = co.latency("p2m_write", "p2m") / iso_p2m.latency(
+            "p2m_write", "p2m"
+        )
+        assert inflation > 1.3
+
+    def test_wpq_fills_persistently(self, q3_six_cores):
+        _, _, co = q3_six_cores
+        assert co.wpq_full_fraction > 0.4
+
+    def test_write_backlog_builds_at_cha(self, q3_six_cores):
+        """N_waiting grows far beyond the blue-regime handful."""
+        _, _, co = q3_six_cores
+        assert co.cha_write_waiting_avg > 30.0
+
+    def test_iio_write_credits_near_exhaustion(self, q3_six_cores):
+        _, _, co = q3_six_cores
+        assert co.iio_write_avg_occupancy > 0.8 * co.config.iio_write_entries
+
+    def test_c2m_write_latency_stays_low_until_cha_pressure(self, q3_six_cores):
+        """The asymmetry of §5.2: the C2M-Write domain (ending at the
+        CHA) inflates far less than the P2M-Write domain (ending at
+        the MC)."""
+        _, iso_p2m, co = q3_six_cores
+        c2m_write = co.latency("c2m_write")
+        p2m_bump = co.latency("p2m_write", "p2m") - iso_p2m.latency(
+            "p2m_write", "p2m"
+        )
+        assert c2m_write < p2m_bump
+
+    def test_blue_at_low_core_counts_in_q3(self):
+        iso, iso_p2m, co = run_pair(1, 1.0, RequestKind.WRITE)
+        p2m_deg = iso_p2m.device_bandwidth("dma") / co.device_bandwidth("dma")
+        c2m_deg = iso.class_bandwidth("c2m") / co.class_bandwidth("c2m")
+        assert p2m_deg == pytest.approx(1.0, abs=0.05)
+        assert c2m_deg > 1.05
+
+
+class TestQuadrants2And4:
+    """P2M-Read quadrants: C2M degrades, P2M reads tolerate latency
+    inflation through their larger credit pool (§4.2, Appendix A)."""
+
+    @pytest.mark.parametrize("store_fraction", [0.0, 1.0])
+    def test_p2m_read_unaffected(self, store_fraction):
+        iso, iso_p2m, co = run_pair(4, store_fraction, RequestKind.READ)
+        p2m_deg = iso_p2m.device_bandwidth("dma") / co.device_bandwidth("dma")
+        assert p2m_deg == pytest.approx(1.0, abs=0.06)
+
+    def test_p2m_read_latency_inflates_but_credits_absorb(self):
+        iso, iso_p2m, co = run_pair(4, 0.0, RequestKind.READ)
+        assert co.latency("p2m_read", "p2m") > iso_p2m.latency("p2m_read", "p2m")
+        assert co.iio_read_avg_occupancy < co.config.iio_read_entries
+
+    def test_inflight_p2m_reads_grow_with_load(self):
+        _, iso_p2m, co = run_pair(5, 1.0, RequestKind.READ)
+        assert co.cha_inflight_p2m_reads_avg > 0
+
+
+class TestQuadrantSweepClassification:
+    def test_quadrant1_sweep_is_blue(self):
+        points = run_quadrant(1, core_counts=(2, 4), warmup=10_000, measure=25_000)
+        for point in points:
+            assert point.regime is Regime.BLUE
+
+    def test_quadrant3_high_load_turns_red(self):
+        points = run_quadrant(3, core_counts=(6,), warmup=40_000, measure=80_000)
+        assert points[-1].regime is Regime.RED
+
+    def test_quadrant2_p2m_never_degrades(self):
+        points = run_quadrant(2, core_counts=(3,), warmup=10_000, measure=25_000)
+        assert points[0].p2m_degradation == pytest.approx(1.0, abs=0.06)

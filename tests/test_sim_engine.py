@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_schedule_and_run_until_executes_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(9.0, order.append, "c")
+    sim.run_until(10.0)
+    assert order == ["a", "b", "c"]
+    assert sim.now == 10.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(3.0, order.append, tag)
+    sim.run_until(4.0)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_excludes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, 1)
+    sim.run_until(10.0)
+    assert fired == []
+    sim.run_until(10.0001)
+    assert fired == [1]
+
+
+def test_clock_advances_to_event_time_during_execution():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run_until(100.0)
+    assert seen == [7.5]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(5.0)
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run_until(10.0)
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run_until(2.0)
+
+
+def test_events_scheduled_during_execution_run_same_pass():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run_until(10.0)
+    assert order == ["first", "second"]
+
+
+def test_run_executes_everything():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.schedule(float(i), count.append, i)
+    sim.run()
+    assert len(count) == 10
+
+
+def test_run_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run_until(10.0)
+    assert sim.events_processed == 3
+
+
+def test_pending_counts_heap_entries():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+
+
+def test_event_args_passed_through():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
+    sim.run_until(2.0)
+    assert got == [(1, "two")]
+
+
+def test_back_to_back_windows_compose():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.schedule(15.0, fired.append, "b")
+    sim.run_until(10.0)
+    assert fired == ["a"]
+    sim.run_until(20.0)
+    assert fired == ["a", "b"]
