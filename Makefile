@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke check
+
+test:
+	$(PYTHON) -m pytest -x -q tests/
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+
+# PR smoke gate: tier-1 tests plus smoke-scale benches, exercising the
+# parallel sweep path (REPRO_JOBS=2) against a cold cache.
+check:
+	$(PYTHON) -m pytest -x -q tests/
+	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
+		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only

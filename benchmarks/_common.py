@@ -67,8 +67,15 @@ def run_once(benchmark, fn):
 
     Figure builders are full experiment sweeps; repeating them for
     statistical timing would multiply minutes of work for no insight,
-    so every benchmark uses a single round.
+    so every benchmark uses a single round. The execution mode is
+    recorded alongside the timing: a cached or 8-way-parallel number
+    is not comparable to a cold serial one.
     """
+    from repro.experiments import runcache
+    from repro.experiments.parallel import default_jobs
+
+    benchmark.extra_info["jobs"] = default_jobs()
+    benchmark.extra_info["cache"] = "on" if runcache.enabled() else "off"
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 

@@ -1,0 +1,62 @@
+"""Event-engine microbenchmark: raw events/sec.
+
+Two views of the fast path's gain, tracked in the perf trajectory:
+
+* empty-callback churn — pure engine overhead (heap push/pop plus
+  dispatch), no model code;
+* a realistic DRAM-traffic window — a colocated STREAM + DMA host,
+  reporting the events/sec the simulator sustains end to end.
+"""
+
+from _common import run_once, scale
+from repro.sim.engine import Simulator
+from repro.sim.records import RequestKind
+from repro.topology.host import Host
+from repro.topology.presets import cascade_lake
+
+CHURN_EVENTS = 300_000
+
+
+def test_engine_empty_callback_churn(benchmark):
+    """Pure dispatch overhead: self-rescheduling no-op sources."""
+
+    def churn() -> int:
+        sim = Simulator()
+        remaining = [CHURN_EVENTS]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0 + (remaining[0] % 7), tick)
+
+        # 16 interleaved sources keep the heap realistically mixed.
+        for i in range(16):
+            sim.schedule(float(i), tick)
+        sim.run_until(1e12)
+        return sim.events_processed
+
+    events = run_once(benchmark, churn)
+    assert events >= CHURN_EVENTS
+    rate = events / benchmark.stats.stats.mean
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    print(f"\nengine churn: {events} events, {rate:,.0f} events/s")
+
+
+def test_engine_dram_window_events_per_sec(benchmark):
+    """End-to-end events/sec on a realistic colocated DRAM window."""
+    params = scale()
+
+    def run():
+        host = Host(cascade_lake())
+        host.add_stream_cores(2, store_fraction=1.0)
+        host.add_raw_dma(RequestKind.WRITE, name="dma")
+        return host.run(params["warmup"], params["measure"])
+
+    result = run_once(benchmark, run)
+    assert result.events_processed > 0
+    assert result.events_per_sec > 0
+    benchmark.extra_info["events_per_sec"] = round(result.events_per_sec)
+    print(
+        f"\nDRAM window: {result.events_processed} events, "
+        f"{result.events_per_sec:,.0f} events/s"
+    )

@@ -32,10 +32,13 @@ def test_fig11_formula_accuracy(benchmark):
         assert errors.max() < 0.25, f"q{q} error too large: {errors}"
         assert errors[0] < 0.12, f"q{q} unloaded error too large: {errors}"
     # The store-stream quadrant 4 shares quadrant 3's high-load error
-    # growth (write-drain blocking the formula does not model); hold it
-    # tight at low load only.
+    # growth (EXPERIMENTS.md, fidelity gap 2: write-drain blocking adds
+    # a latency source the formula does not model, growing to ~30-50%
+    # at 4-6 cores). Hold it tight at low load, and bound — rather than
+    # leave unchecked — the store-stream residual at high load.
     q4 = np.abs(data.series["q4_c2m_error"])
     assert q4[0] < 0.12 and q4[1] < 0.20
+    assert q4.max() < 0.60, f"q4 store-stream residual out of bounds: {q4}"
     raw = np.array(data.series["q3_c2m_error_raw"])
     corrected = np.array(data.series["q3_c2m_error_corrected"])
     # The paper's raw-Q3 signature: error grows with load (overestimate).

@@ -100,7 +100,9 @@ class Core:
             if self._wake_event.time <= wake:
                 return
             self._wake_event.cancel()
-        self._wake_event = self._sim.schedule_at(max(wake, self._sim.now), self._on_wake)
+        self._wake_event = self._sim.schedule_at_cancellable(
+            max(wake, self._sim.now), self._on_wake
+        )
 
     def _on_wake(self) -> None:
         self._wake_event = None

@@ -75,9 +75,26 @@ class AddressMapper:
         self._column_shift = lines_per_row.bit_length() - 1
         self._bank_mask = n_banks - 1
         self._bank_shift = n_banks.bit_length() - 1
+        # Memo of recent decodes. Requests revisit lines on short
+        # timescales (read then writeback, RPQ/WPQ re-examination), so
+        # a bounded memo captures most repeats; it is cleared when full
+        # rather than evicting so GB-scale streams cannot grow it
+        # without bound.
+        self._memo: dict = {}
+        self._memo_limit = 1 << 16
 
     def map(self, line_addr: int) -> MappedAddress:
-        """Decode a cacheline address."""
+        """Decode a cacheline address (memoized)."""
+        mapped = self._memo.get(line_addr)
+        if mapped is not None:
+            return mapped
+        mapped = self._map_uncached(line_addr)
+        if len(self._memo) >= self._memo_limit:
+            self._memo.clear()
+        self._memo[line_addr] = mapped
+        return mapped
+
+    def _map_uncached(self, line_addr: int) -> MappedAddress:
         if line_addr < 0:
             raise ValueError("line_addr must be non-negative")
         channel = line_addr & self._channel_mask

@@ -121,9 +121,15 @@ class Bank:
         self._prep_pending = False
         self.open_row = row_id
         # The head for which we prepared may have been superseded by a
-        # mode switch; re-evaluate against the active queue.
+        # mode switch; re-evaluate against the active queue. The new
+        # head may ride on the row this prep opened without any PRE/ACT
+        # of its own — a row hit from its perspective.
         queue = self.active_queue()
         if queue and queue[0].row_id == row_id:
+            head = queue[0]
+            if head.row_outcome is None:
+                head.row_outcome = "hit"
+                self._channel.count_row_outcome(head)
             self._channel.notify_bank_ready()
         else:
             self.maybe_start_prep()

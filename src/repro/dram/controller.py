@@ -235,7 +235,7 @@ class Channel:
             return
         if event is not None:
             event.cancel()
-        self._pump_event = self._sim.schedule_at(at, self._pump)
+        self._pump_event = self._sim.schedule_at_cancellable(at, self._pump)
 
     def _pump(self) -> None:
         self._pump_event = None
@@ -346,6 +346,12 @@ class Channel:
         timing = self.timing
         self._busy_until = now + timing.t_trans
         bank = self.banks[req.bank_id]
+        if req.row_outcome is None:
+            # Served with its row already open and no PRE/ACT of its
+            # own (e.g. opened by a prep for the other direction's
+            # head): a row hit from this request's perspective.
+            req.row_outcome = "hit"
+            self.count_row_outcome(req)
         bank.pop_head(req)
         if req.kind is RequestKind.READ:
             self.stats.lines_read += 1

@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.fio import add_fio
 from repro.apps.gapbs import add_gapbs_cores
 from repro.apps.redis import add_redis_cores
+from repro.experiments.parallel import run_calls
 from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
 from repro.experiments.runner import (
     ColocationExperiment,
@@ -99,6 +100,35 @@ def table1() -> FigureData:
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class AppC2MBuilder:
+    """Attach a real C2M app (Redis/GAPBS) — picklable builder."""
+
+    app: str
+
+    def __call__(self, host: Host, n_cores: int) -> None:
+        app = self.app
+        if app.startswith("redis"):
+            mix = "set" if app.endswith("write") else "get"
+            add_redis_cores(host, n_cores, query_mix=mix)
+        elif app.startswith("gapbs"):
+            algorithm = "bc" if app.endswith("bc") else "pr"
+            add_gapbs_cores(host, n_cores, algorithm=algorithm)
+        else:
+            raise ValueError(f"unknown app {app!r}")
+
+
+@dataclass(frozen=True)
+class FioP2MBuilder:
+    """Attach an FIO job — picklable builder."""
+
+    mode: str = "read"
+    name: str = "fio"
+
+    def __call__(self, host: Host) -> None:
+        add_fio(host, mode=self.mode, name=self.name)
+
+
 def _app_experiment(
     config: HostConfig,
     app: str,
@@ -112,20 +142,6 @@ def _app_experiment(
     many C2M cores remain.
     """
     del fio_cores_reserved  # documented; the C2M sweep controls cores
-
-    def build_c2m(host: Host, n_cores: int) -> None:
-        if app.startswith("redis"):
-            mix = "set" if app.endswith("write") else "get"
-            add_redis_cores(host, n_cores, query_mix=mix)
-        elif app.startswith("gapbs"):
-            algorithm = "bc" if app.endswith("bc") else "pr"
-            add_gapbs_cores(host, n_cores, algorithm=algorithm)
-        else:
-            raise ValueError(f"unknown app {app!r}")
-
-    def build_p2m(host: Host) -> None:
-        add_fio(host, mode=fio_mode, name="fio")
-
     if app.startswith("redis"):
         mix = "set" if app.endswith("write") else "get"
         c2m_metric = workload_ops_metric(f"redis-{mix}")
@@ -134,11 +150,63 @@ def _app_experiment(
         c2m_metric = workload_ops_metric(f"gapbs-{algorithm}")
     return ColocationExperiment(
         config,
-        build_c2m,
-        build_p2m,
+        AppC2MBuilder(app),
+        FioP2MBuilder(fio_mode),
         c2m_metric=c2m_metric,
         p2m_metric=device_bandwidth_metric("fio"),
     )
+
+
+# ----------------------------------------------------------------------
+# Picklable single-run primitives (fan out through run_calls and hit
+# the run cache across figures that reuse the same isolated run).
+# ----------------------------------------------------------------------
+
+
+def stream_run(
+    config: HostConfig,
+    n_cores: int,
+    store_fraction: float,
+    warmup: float,
+    measure: float,
+    traffic_class: str = "c2m",
+    seed: int = 1,
+):
+    """Run an isolated STREAM host (C2M only)."""
+    host = Host(config, seed=seed)
+    host.add_stream_cores(
+        n_cores, store_fraction=store_fraction, traffic_class=traffic_class
+    )
+    return host.run(warmup, measure)
+
+
+def dma_run(
+    config: HostConfig,
+    kind: RequestKind,
+    warmup: float,
+    measure: float,
+    seed: int = 1,
+):
+    """Run an isolated raw-DMA host (P2M only)."""
+    host = Host(config, seed=seed)
+    host.add_raw_dma(kind, name="dma")
+    return host.run(warmup, measure)
+
+
+def _stream_fio_run(
+    config: HostConfig,
+    n_cores: int,
+    store_fraction: float,
+    warmup: float,
+    measure: float,
+    seed: int = 1,
+):
+    """STREAM cores + a low-load 4 KB QD1 FIO job (Fig. 6c/d)."""
+    host = Host(config, seed=seed)
+    host.add_stream_cores(n_cores, store_fraction=store_fraction)
+    add_fio(host, mode="read", io_size_bytes=4096, queue_depth=1,
+            t_io_gap=3000.0, name="fio")
+    return host.run(warmup, measure)
 
 
 def fig1(
@@ -278,35 +346,23 @@ def fig6(
         "c2m_cores",
         list(core_counts),
     )
-    lfb_read, cha_dram = [], []
-    for n in core_counts:
-        host = Host(config)
-        host.add_stream_cores(n, store_fraction=0.0)
-        result = host.run(warmup, measure)
-        lfb_read.append(result.latency("c2m_read"))
-        cha_dram.append(result.latency("cha_dram_read"))
-    data.add("a_lfb_latency_c2m_read", lfb_read)
-    data.add("a_cha_dram_read_latency", cha_dram)
+    calls = (
+        [(stream_run, (config, n, 0.0, warmup, measure), {}) for n in core_counts]
+        + [(stream_run, (config, n, 1.0, warmup, measure), {}) for n in core_counts]
+        + [(_stream_fio_run, (config, n, 1.0, warmup, measure), {}) for n in core_counts]
+    )
+    results = run_calls(calls)
+    k = len(core_counts)
+    reads, rws, fios = results[:k], results[k : 2 * k], results[2 * k :]
 
-    lfb_rw, cha_mc_w = [], []
-    for n in core_counts:
-        host = Host(config)
-        host.add_stream_cores(n, store_fraction=1.0)
-        result = host.run(warmup, measure)
-        lfb_rw.append(result.latency("lfb_total"))
-        cha_mc_w.append(result.latency("cha_mc_write"))
-    data.add("b_lfb_latency_c2m_rw", lfb_rw)
-    data.add("b_cha_mc_write_latency", cha_mc_w)
+    data.add("a_lfb_latency_c2m_read", [r.latency("c2m_read") for r in reads])
+    data.add("a_cha_dram_read_latency", [r.latency("cha_dram_read") for r in reads])
 
-    iio_lat, cha_mc_w2 = [], []
-    for n in core_counts:
-        host = Host(config)
-        host.add_stream_cores(n, store_fraction=1.0)
-        add_fio(host, mode="read", io_size_bytes=4096, queue_depth=1,
-                t_io_gap=3000.0, name="fio")
-        result = host.run(warmup, measure)
-        iio_lat.append(result.latency("p2m_write", "p2m"))
-        cha_mc_w2.append(result.latency("cha_mc_write", "p2m"))
+    data.add("b_lfb_latency_c2m_rw", [r.latency("lfb_total") for r in rws])
+    data.add("b_cha_mc_write_latency", [r.latency("cha_mc_write") for r in rws])
+
+    iio_lat = [r.latency("p2m_write", "p2m") for r in fios]
+    cha_mc_w2 = [r.latency("cha_mc_write", "p2m") for r in fios]
     data.add("c_iio_latency_p2m_write", iio_lat)
     data.add("c_cha_mc_write_latency", cha_mc_w2)
     base_iio, base_cha = iio_lat[0], cha_mc_w2[0]
@@ -340,8 +396,12 @@ def root_cause_panels(
     """Shared builder for the root-cause metric panels (Figs. 7/8/13/14
     and their RDMA/DCTCP counterparts in Appendix D)."""
     data = FigureData(figure_id, title, "c2m_cores", list(core_counts))
-    with_p2m = [experiment.run_colocated(n, warmup, measure) for n in core_counts]
-    without_p2m = [experiment.run_c2m_isolated(n, warmup, measure) for n in core_counts]
+    results = run_calls(
+        [(experiment.run_colocated, (n, warmup, measure), {}) for n in core_counts]
+        + [(experiment.run_c2m_isolated, (n, warmup, measure), {}) for n in core_counts]
+    )
+    with_p2m = results[: len(core_counts)]
+    without_p2m = results[len(core_counts) :]
 
     data.add(
         "c2m_read_latency_with_p2m",
@@ -447,29 +507,20 @@ def fig8(
 def _calibrate(config: HostConfig, warmup: float, measure: float):
     """Unloaded constants for the C2M-Read and P2M-Write domains."""
     timing = config.dram_timing
-    host = Host(config)
-    host.add_stream_cores(1, store_fraction=0.0)
-    unloaded_read = host.run(warmup, measure)
+    unloaded_read, unloaded_write, unloaded_p2m_read, unloaded_rw = run_calls(
+        [
+            (stream_run, (config, 1, 0.0, warmup, measure), {}),
+            (dma_run, (config, RequestKind.WRITE, warmup, measure), {}),
+            (dma_run, (config, RequestKind.READ, warmup, measure), {}),
+            (stream_run, (config, 1, 1.0, warmup, measure), {}),
+        ]
+    )
     constant_read = calibrate_read_constant(unloaded_read, timing)
-
-    host = Host(config)
-    host.add_raw_dma(RequestKind.WRITE, name="dma")
-    unloaded_write = host.run(warmup, measure)
     constant_write_p2m = calibrate_write_constant(unloaded_write, timing)
-
-    host = Host(config)
-    host.add_raw_dma(RequestKind.READ, name="dma")
-    unloaded_p2m_read = host.run(warmup, measure)
     constant_read_p2m = calibrate_read_constant(
         unloaded_p2m_read, timing, domain="p2m_read", traffic_class="p2m"
     )
-
-    host = Host(config)
-    host.add_stream_cores(1, store_fraction=1.0)
-    unloaded_rw = host.run(warmup, measure)
-    constant_write_c2m = max(
-        0.0, unloaded_rw.latency("c2m_write")
-    )
+    constant_write_c2m = max(0.0, unloaded_rw.latency("c2m_write"))
     return constant_read, constant_write_p2m, constant_read_p2m, constant_write_c2m
 
 
@@ -489,12 +540,25 @@ def fig11(
         "c2m_cores",
         list(core_counts),
     )
+    quadrant_order = (1, 2, 4, 3)
+    experiments = {
+        q: quadrant_experiment(QUADRANTS[q], config) for q in quadrant_order
+    }
+    runs = run_calls(
+        [
+            (experiments[q].run_colocated, (n, warmup, measure), {})
+            for q in quadrant_order
+            for n in core_counts
+        ]
+    )
+    runs_by_q = {
+        q: runs[i * len(core_counts) : (i + 1) * len(core_counts)]
+        for i, q in enumerate(quadrant_order)
+    }
     for q in (1, 2, 4):
         spec = QUADRANTS[q]
-        experiment = quadrant_experiment(spec, config)
         errors = []
-        for n in core_counts:
-            run = experiment.run_colocated(n, warmup, measure)
+        for n, run in zip(core_counts, runs_by_q[q]):
             estimate = estimate_c2m_throughput(
                 run,
                 c_read,
@@ -505,13 +569,10 @@ def fig11(
             errors.append(estimate.error)
         data.add(f"q{q}_c2m_error", errors)
 
-    spec = QUADRANTS[3]
-    experiment = quadrant_experiment(spec, config)
     for corrected in (False, True):
         tag = "corrected" if corrected else "raw"
         c2m_err, p2m_err = [], []
-        for n in core_counts:
-            run = experiment.run_colocated(n, warmup, measure)
+        for n, run in zip(core_counts, runs_by_q[3]):
             c2m = estimate_c2m_throughput(
                 run,
                 c_read,
@@ -556,12 +617,22 @@ def fig12(
         "c2m_cores",
         list(core_counts),
     )
+    experiments = {q: quadrant_experiment(QUADRANTS[q], config) for q in (1, 2, 3, 4)}
+    runs = run_calls(
+        [
+            (experiments[q].run_colocated, (n, warmup, measure), {})
+            for q in (1, 2, 3, 4)
+            for n in core_counts
+        ]
+    )
+    runs_by_q = {
+        q: runs[i * len(core_counts) : (i + 1) * len(core_counts)]
+        for i, q in enumerate((1, 2, 3, 4))
+    }
     for q in (1, 2, 3, 4):
-        experiment = quadrant_experiment(QUADRANTS[q], config)
         switching, write_hol, read_hol, top_q, adm = [], [], [], [], []
         w_switch, w_rhol, w_whol, w_topq = [], [], [], []
-        for n in core_counts:
-            run = experiment.run_colocated(n, warmup, measure)
+        for n, run in zip(core_counts, runs_by_q[q]):
             inputs = FormulaInputs.from_run(run)
             read_bd = read_queueing_delay(inputs, timing)
             switching.append(read_bd.switching)

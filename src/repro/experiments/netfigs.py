@@ -8,10 +8,12 @@ loop) so the network app contributes both P2M and C2M traffic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figures import FigureData, root_cause_panels
-from repro.experiments.quadrants import QUADRANTS, QuadrantSpec
+from repro.experiments.figures import FigureData, root_cause_panels, stream_run
+from repro.experiments.parallel import run_calls
+from repro.experiments.quadrants import QUADRANTS, QuadrantSpec, StreamC2MBuilder
 from repro.experiments.runner import (
     ColocationExperiment,
     c2m_bandwidth_metric,
@@ -37,26 +39,31 @@ from repro.topology.presets import HostConfig, cascade_lake
 RDMA_GBPS = 98.0
 
 
+@dataclass(frozen=True)
+class RdmaP2MBuilder:
+    """Attach RoCE NIC traffic (picklable P2M builder)."""
+
+    kind: RequestKind
+    rate_gbps: float = RDMA_GBPS
+    name: str = "nic"
+
+    def __call__(self, host: Host) -> None:
+        if self.kind is RequestKind.WRITE:
+            add_rdma_write_traffic(host, rate_gbps=self.rate_gbps, name=self.name)
+        else:
+            add_rdma_read_traffic(host, rate_gbps=self.rate_gbps, name=self.name)
+
+
 def rdma_quadrant_experiment(
     spec: QuadrantSpec, config: Optional[HostConfig] = None, seed: int = 1
 ) -> ColocationExperiment:
     """A quadrant experiment with NIC-generated P2M traffic."""
     if config is None:
         config = cascade_lake()
-
-    def build_c2m(host: Host, n_cores: int) -> None:
-        host.add_stream_cores(n_cores, store_fraction=spec.store_fraction)
-
-    def build_p2m(host: Host) -> None:
-        if spec.p2m_kind is RequestKind.WRITE:
-            add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
-        else:
-            add_rdma_read_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
-
     return ColocationExperiment(
         config,
-        build_c2m,
-        build_p2m,
+        StreamC2MBuilder(store_fraction=spec.store_fraction),
+        RdmaP2MBuilder(spec.p2m_kind),
         c2m_metric=c2m_bandwidth_metric(),
         p2m_metric=device_bandwidth_metric("nic"),
         seed=seed,
@@ -141,11 +148,13 @@ def fig22(core_counts=(1, 2, 3, 4, 5, 6), config=None, warmup=20_000.0, measure=
     data = _rdma_root_cause("fig22", 3, core_counts, config, warmup, measure)
     spec = QUADRANTS[3]
     experiment = rdma_quadrant_experiment(spec, config)
-    pauses = []
-    for n in core_counts:
-        run = experiment.run_colocated(n, warmup, measure)
-        pauses.append(run.extra.get("nic.pause_fraction", 0.0))
-    data.add("pfc_pause_fraction", pauses)
+    runs = run_calls(
+        [(experiment.run_colocated, (n, warmup, measure), {}) for n in core_counts]
+    )
+    data.add(
+        "pfc_pause_fraction",
+        [run.extra.get("nic.pause_fraction", 0.0) for run in runs],
+    )
     return data
 
 
@@ -180,27 +189,44 @@ def fig23(
         "time_us",
         [round(i * sample_interval_ns / 1000.0, 3) for i in range(n_samples)],
     )
-    for n in core_counts:
-        host = Host(config)
-        host.add_stream_cores(n, store_fraction=1.0)
-        add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
-        samples: List[float] = []
-
-        def sample() -> None:
-            samples.append(float(host.iio.write_occ.value))
-            if len(samples) < n_samples:
-                host.sim.schedule(sample_interval_ns, sample)
-
-        host.start()
-        host.sim.run_until(warmup)
-        host.reset_measurement()
-        host.sim.schedule(0.0, sample)
-        host.sim.run_until(warmup + measure)
-        while len(samples) < n_samples:
-            samples.append(samples[-1] if samples else 0.0)
+    traces = run_calls(
+        [
+            (_iio_occupancy_trace, (config, n, n_samples, sample_interval_ns, warmup), {})
+            for n in core_counts
+        ]
+    )
+    for n, samples in zip(core_counts, traces):
         data.add(f"iio_occupancy_{n}_cores", samples)
     data.notes = "Occupancy should sit near the 92-entry capacity throughout."
     return data
+
+
+def _iio_occupancy_trace(
+    config: HostConfig,
+    n_cores: int,
+    n_samples: int,
+    sample_interval_ns: float,
+    warmup: float,
+) -> List[float]:
+    """Sample the IIO write-buffer occupancy every interval (Fig. 23)."""
+    host = Host(config)
+    host.add_stream_cores(n_cores, store_fraction=1.0)
+    add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
+    samples: List[float] = []
+
+    def sample() -> None:
+        samples.append(float(host.iio.write_occ.value))
+        if len(samples) < n_samples:
+            host.sim.schedule(sample_interval_ns, sample)
+
+    host.start()
+    host.sim.run_until(warmup)
+    host.reset_measurement()
+    host.sim.schedule(0.0, sample)
+    host.sim.run_until(warmup + n_samples * sample_interval_ns)
+    while len(samples) < n_samples:
+        samples.append(samples[-1] if samples else 0.0)
+    return samples
 
 
 # ----------------------------------------------------------------------
@@ -215,7 +241,12 @@ def _dctcp_point(
     warmup: float,
     measure: float,
 ) -> Dict[str, float]:
-    """One DCTCP colocation point: memory app + TCP Rx on one host."""
+    """One DCTCP colocation point: memory app + TCP Rx on one host.
+
+    Returns a plain dict of floats plus the :class:`RunResult` so the
+    point is picklable (process-pool friendly and run-cacheable); the
+    receiver's metrics are computed in place of returning the object.
+    """
     host = Host(config)
     if n_mem_cores:
         host.add_stream_cores(n_mem_cores, store_fraction, traffic_class="mem")
@@ -228,7 +259,6 @@ def _dctcp_point(
         "copy_bw": result.class_bandwidth("copy"),
         "p2m_bw": result.class_bandwidth("p2m"),
         "result": result,
-        "receiver": receiver,
     }
 
 
@@ -252,14 +282,27 @@ def fig19(
         "c2m_cores",
         list(core_counts),
     )
-    tcp_iso = _dctcp_point(0, 0.0, config, warmup, measure)
-    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+    variants = ((0.0, "c2mread"), (1.0, "c2mrw"))
+    calls = [(_dctcp_point, (0, 0.0, config, warmup, measure), {})]
+    for store_fraction, _ in variants:
+        for n in core_counts:
+            calls.append(
+                (
+                    stream_run,
+                    (config, n, store_fraction, warmup, measure),
+                    {"traffic_class": "mem"},
+                )
+            )
+            calls.append((_dctcp_point, (n, store_fraction, config, warmup, measure), {}))
+    results = run_calls(calls)
+    tcp_iso = results[0]
+    cursor = 1
+    for store_fraction, tag in variants:
         mem_deg, net_deg, mem_bw, copy_bw, p2m_bw, loss = [], [], [], [], [], []
         for n in core_counts:
-            host = Host(config)
-            host.add_stream_cores(n, store_fraction, traffic_class="mem")
-            mem_iso = host.run(warmup, measure).class_bandwidth("mem")
-            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            mem_iso = results[cursor].class_bandwidth("mem")
+            point = results[cursor + 1]
+            cursor += 2
             mem_deg.append(mem_iso / max(1e-9, point["mem_bw"]))
             net_deg.append(tcp_iso["goodput"] / max(1e-9, point["goodput"]))
             mem_bw.append(point["mem_bw"])
@@ -298,10 +341,13 @@ def _dctcp_root_cause(
         "c2m_cores",
         list(core_counts),
     )
-    runs = [
-        _dctcp_point(n, store_fraction, config, warmup, measure)["result"]
-        for n in core_counts
-    ]
+    points = run_calls(
+        [
+            (_dctcp_point, (n, store_fraction, config, warmup, measure), {})
+            for n in core_counts
+        ]
+    )
+    runs = [point["result"] for point in points]
     data.add("c2m_read_latency_mem", [r.latency("c2m_read", "mem") for r in runs])
     data.add("c2m_read_latency_copy", [r.latency("c2m_read", "copy") for r in runs])
     data.add("rpq_occupancy", [r.rpq_avg_occupancy for r in runs])
@@ -329,17 +375,25 @@ def fig26(core_counts=(1, 2, 3, 4), config=None, warmup=60_000.0, measure=120_00
 # ----------------------------------------------------------------------
 
 
-def _rdma_calibrate(config: HostConfig, warmup: float, measure: float):
-    timing = config.dram_timing
-    host = Host(config)
-    host.add_stream_cores(1, store_fraction=0.0)
-    c_read = calibrate_read_constant(host.run(warmup, measure), timing)
+def _rdma_write_iso_run(config: HostConfig, warmup: float, measure: float):
+    """Isolated RoCE write traffic (calibration run)."""
     host = Host(config)
     add_rdma_write_traffic(host, rate_gbps=RDMA_GBPS, name="nic")
-    c_write = calibrate_write_constant(host.run(warmup, measure), timing)
-    host = Host(config)
-    host.add_stream_cores(1, store_fraction=1.0)
-    c_write_c2m = host.run(warmup, measure).latency("c2m_write")
+    return host.run(warmup, measure)
+
+
+def _rdma_calibrate(config: HostConfig, warmup: float, measure: float):
+    timing = config.dram_timing
+    unloaded_read, unloaded_write, unloaded_rw = run_calls(
+        [
+            (stream_run, (config, 1, 0.0, warmup, measure), {}),
+            (_rdma_write_iso_run, (config, warmup, measure), {}),
+            (stream_run, (config, 1, 1.0, warmup, measure), {}),
+        ]
+    )
+    c_read = calibrate_read_constant(unloaded_read, timing)
+    c_write = calibrate_write_constant(unloaded_write, timing)
+    c_write_c2m = unloaded_rw.latency("c2m_write")
     return c_read, c_write, c_write_c2m
 
 
@@ -360,12 +414,24 @@ def fig27(
         "c2m_cores",
         list(core_counts),
     )
+    experiments = {
+        q: rdma_quadrant_experiment(QUADRANTS[q], config) for q in (1, 2, 3, 4)
+    }
+    all_runs = run_calls(
+        [
+            (experiments[q].run_colocated, (n, warmup, measure), {})
+            for q in (1, 2, 3, 4)
+            for n in core_counts
+        ]
+    )
+    runs_by_q = {
+        q: all_runs[i * len(core_counts) : (i + 1) * len(core_counts)]
+        for i, q in enumerate((1, 2, 3, 4))
+    }
     for q in (1, 2, 3, 4):
         spec = QUADRANTS[q]
-        experiment = rdma_quadrant_experiment(spec, config)
         c2m_err, p2m_err = [], []
-        for n in core_counts:
-            run = experiment.run_colocated(n, warmup, measure)
+        for n, run in zip(core_counts, runs_by_q[q]):
             c2m = estimate_c2m_throughput(
                 run,
                 c_read,
@@ -408,11 +474,23 @@ def fig28(
         "c2m_cores",
         list(core_counts),
     )
+    experiments = {
+        q: rdma_quadrant_experiment(QUADRANTS[q], config) for q in (1, 2, 3, 4)
+    }
+    all_runs = run_calls(
+        [
+            (experiments[q].run_colocated, (n, warmup, measure), {})
+            for q in (1, 2, 3, 4)
+            for n in core_counts
+        ]
+    )
+    runs_by_q = {
+        q: all_runs[i * len(core_counts) : (i + 1) * len(core_counts)]
+        for i, q in enumerate((1, 2, 3, 4))
+    }
     for q in (1, 2, 3, 4):
-        experiment = rdma_quadrant_experiment(QUADRANTS[q], config)
         switching, write_hol, read_hol, top_q = [], [], [], []
-        for n in core_counts:
-            run = experiment.run_colocated(n, warmup, measure)
+        for run in runs_by_q[q]:
             breakdown = read_queueing_delay(FormulaInputs.from_run(run), timing)
             switching.append(breakdown.switching)
             write_hol.append(breakdown.write_hol)
@@ -446,13 +524,17 @@ def fig29(
     if config is None:
         config = cascade_lake()
     timing = config.dram_timing
-    host = Host(config)
-    host.add_stream_cores(1, store_fraction=0.0, traffic_class="mem")
-    unloaded = host.run(warmup, measure)
-    c_read = calibrate_read_constant(unloaded, timing, traffic_class="mem")
-    host = Host(config)
-    DctcpReceiver(host)
-    c_write = calibrate_write_constant(host.run(warmup, measure), timing)
+    variants = ((0.0, "c2mread"), (1.0, "c2mrw"))
+    calls = [
+        (stream_run, (config, 1, 0.0, warmup, measure), {"traffic_class": "mem"}),
+        (_dctcp_point, (0, 0.0, config, warmup, measure), {}),
+    ]
+    for store_fraction, _ in variants:
+        for n in core_counts:
+            calls.append((_dctcp_point, (n, store_fraction, config, warmup, measure), {}))
+    results = run_calls(calls)
+    c_read = calibrate_read_constant(results[0], timing, traffic_class="mem")
+    c_write = calibrate_write_constant(results[1]["result"], timing)
 
     data = FigureData(
         "fig29",
@@ -460,10 +542,12 @@ def fig29(
         "c2m_cores",
         list(core_counts),
     )
-    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+    cursor = 2
+    for store_fraction, tag in variants:
         mem_err, copy_err, p2m_err = [], [], []
         for n in core_counts:
-            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            point = results[cursor]
+            cursor += 1
             run: RunResult = point["result"]
             inputs = FormulaInputs.from_run(run)
             latency = read_domain_latency(c_read, inputs, timing)
@@ -517,11 +601,21 @@ def fig30(
         "c2m_cores",
         list(core_counts),
     )
-    for store_fraction, tag in ((0.0, "c2mread"), (1.0, "c2mrw")):
+    variants = ((0.0, "c2mread"), (1.0, "c2mrw"))
+    points = run_calls(
+        [
+            (_dctcp_point, (n, store_fraction, config, warmup, measure), {})
+            for store_fraction, _ in variants
+            for n in core_counts
+        ]
+    )
+    cursor = 0
+    for store_fraction, tag in variants:
         r_switch, r_whol, r_rhol, r_topq = [], [], [], []
         w_switch, w_rhol, w_whol, w_topq = [], [], [], []
         for n in core_counts:
-            point = _dctcp_point(n, store_fraction, config, warmup, measure)
+            point = points[cursor]
+            cursor += 1
             inputs = FormulaInputs.from_run(point["result"])
             read_bd = read_queueing_delay(inputs, timing)
             write_bd = write_admission_delay(inputs, timing)

@@ -1,0 +1,143 @@
+"""Process-parallel fan-out for independent simulation runs.
+
+Every figure in the paper is a sweep of *independent* simulations
+(isolated C2M, isolated P2M, colocated — per core count, per quadrant),
+so the harness fans them out over a ``ProcessPoolExecutor`` and
+reassembles results in submission order. Determinism is unaffected:
+each run builds its own :class:`~repro.topology.host.Host` from an
+explicit seed, so a run computes the identical :class:`RunResult`
+whether it executes in this process or a worker.
+
+Control knobs and behaviour:
+
+* ``REPRO_JOBS=N`` sets the worker count (default: the machine's CPU
+  count). ``REPRO_JOBS=1`` forces serial in-process execution.
+* Calls that cannot be pickled (closures, ad-hoc lambdas) gracefully
+  fall back to serial execution for the whole batch.
+* Results are memoized through :mod:`repro.experiments.runcache`
+  (disable with ``REPRO_CACHE=off``), so runs shared between figures
+  — e.g. the C2M-isolated run appearing in Figs. 3, 7, 11 and 12 —
+  execute once per code version.
+* A worker crash (OOM-killed process, interpreter abort) surfaces as
+  a ``RuntimeError`` naming the task and suggesting ``REPRO_JOBS=1``;
+  an ordinary exception inside a task propagates unchanged, annotated
+  with the task that raised it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments import runcache
+
+#: a unit of work: (callable, positional args, keyword args)
+Call = Tuple[Callable[..., Any], tuple, dict]
+
+# Set in pool workers so library code that fans out internally cannot
+# recursively spawn pools.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` or the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from exc
+    return os.cpu_count() or 1
+
+
+def _describe(call: Call) -> str:
+    fn, args, kwargs = call
+    name = getattr(fn, "__qualname__", None)
+    if name is None:  # bound method of a picklable experiment
+        name = f"{type(fn).__name__}.{fn}"
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        name = f"{type(owner).__name__}.{fn.__name__}"
+    parts = [repr(a) for a in args] + [f"{k}={v!r}" for k, v in kwargs.items()]
+    text = f"{name}({', '.join(parts)})"
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _run_payload(payload: bytes) -> Any:
+    fn, args, kwargs = pickle.loads(payload)
+    return fn(*args, **kwargs)
+
+
+def run_calls(
+    calls: Sequence[Call],
+    jobs: Optional[int] = None,
+    cache: bool = True,
+) -> List[Any]:
+    """Execute independent calls, fanning out over processes.
+
+    Returns results in input order. Cached results are returned
+    without executing; the remainder run in a process pool when
+    ``jobs > 1``, every call pickles, and we are not already inside a
+    worker — otherwise serially in-process.
+    """
+    calls = [(fn, tuple(args), dict(kwargs)) for fn, args, kwargs in calls]
+    results: dict = {}
+    keys: List[Optional[str]] = [None] * len(calls)
+    if cache:
+        for i, (fn, args, kwargs) in enumerate(calls):
+            keys[i] = runcache.key_for(fn, args, kwargs)
+            hit, value = runcache.get(keys[i])
+            if hit:
+                results[i] = value
+    missing = [i for i in range(len(calls)) if i not in results]
+
+    n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    payloads: dict = {}
+    parallel = n_jobs > 1 and not _IN_WORKER and len(missing) > 1
+    if parallel:
+        try:
+            for i in missing:
+                payloads[i] = pickle.dumps(calls[i], protocol=4)
+        except Exception:
+            parallel = False  # unpicklable builder: serial fallback
+
+    if parallel:
+        workers = min(n_jobs, len(missing))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker
+        ) as pool:
+            futures = {i: pool.submit(_run_payload, payloads[i]) for i in missing}
+            wait(list(futures.values()), return_when=FIRST_EXCEPTION)
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool as exc:
+                    raise RuntimeError(
+                        f"parallel worker crashed while running "
+                        f"{_describe(calls[i])}; rerun with REPRO_JOBS=1 "
+                        f"to execute serially"
+                    ) from exc
+                except Exception as exc:
+                    exc.add_note(f"raised in parallel task {_describe(calls[i])}")
+                    raise
+    else:
+        for i in missing:
+            fn, args, kwargs = calls[i]
+            results[i] = fn(*args, **kwargs)
+
+    for i in missing:
+        runcache.put(keys[i], results[i])
+    return [results[i] for i in range(len(calls))]
+
+
+def run_one(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Run a single call through the cache (no pool for one task)."""
+    return run_calls([(fn, args, kwargs)], jobs=1)[0]

@@ -49,23 +49,42 @@ QUADRANTS = {
 }
 
 
+@dataclass(frozen=True)
+class StreamC2MBuilder:
+    """Attach STREAM-style cores (picklable C2M builder)."""
+
+    store_fraction: float = 0.0
+    traffic_class: str = "c2m"
+
+    def __call__(self, host: Host, n_cores: int) -> None:
+        host.add_stream_cores(
+            n_cores,
+            store_fraction=self.store_fraction,
+            traffic_class=self.traffic_class,
+        )
+
+
+@dataclass(frozen=True)
+class RawDmaP2MBuilder:
+    """Attach an open-loop DMA generator (picklable P2M builder)."""
+
+    kind: RequestKind
+    name: str = "dma"
+
+    def __call__(self, host: Host) -> None:
+        host.add_raw_dma(self.kind, name=self.name)
+
+
 def quadrant_experiment(
     spec: QuadrantSpec, config: Optional[HostConfig] = None, seed: int = 1
 ) -> ColocationExperiment:
     """Build the colocation experiment for a quadrant."""
     if config is None:
         config = cascade_lake()
-
-    def build_c2m(host: Host, n_cores: int) -> None:
-        host.add_stream_cores(n_cores, store_fraction=spec.store_fraction)
-
-    def build_p2m(host: Host) -> None:
-        host.add_raw_dma(spec.p2m_kind, name="dma")
-
     return ColocationExperiment(
         config,
-        build_c2m,
-        build_p2m,
+        StreamC2MBuilder(store_fraction=spec.store_fraction),
+        RawDmaP2MBuilder(spec.p2m_kind),
         c2m_metric=c2m_bandwidth_metric(),
         p2m_metric=device_bandwidth_metric("dma"),
         seed=seed,

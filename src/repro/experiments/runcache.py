@@ -1,0 +1,147 @@
+"""Content-keyed disk cache for simulation runs.
+
+The paper's figures re-run the same isolated simulations verbatim: the
+C2M-isolated STREAM run for a given (preset, core count, seed, window)
+appears in Figs. 3, 7, 11 and 12, and every bench invocation repeats
+runs of the previous one. Those runs are pure functions of their inputs
+(the simulator is deterministic), so their :class:`RunResult`\\ s are
+cached on disk keyed by
+
+* the pickled call spec — callable identity, experiment/builder
+  configuration, seed, warmup/measure windows, and every other
+  argument — and
+* a fingerprint of the ``repro`` package source, so any code change
+  invalidates the whole cache.
+
+Environment knobs:
+
+* ``REPRO_CACHE=off`` (or ``0``/``no``/``false``) disables the cache;
+* ``REPRO_CACHE_DIR=<path>`` overrides the cache directory (default
+  ``$XDG_CACHE_HOME/repro/runcache`` or ``~/.cache/repro/runcache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+_MISS = object()
+_code_fingerprint: Optional[str] = None
+
+
+def enabled() -> bool:
+    """Whether the run cache is active (``REPRO_CACHE`` escape hatch)."""
+    return os.environ.get("REPRO_CACHE", "on").lower() not in (
+        "off",
+        "0",
+        "no",
+        "false",
+    )
+
+
+def cache_dir() -> Path:
+    """Directory holding cached run results."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro" / "runcache"
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file (cache-key code version)."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()[:20]
+    return _code_fingerprint
+
+
+def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optional[str]:
+    """Cache key for a call, or ``None`` if it cannot be keyed.
+
+    Unpicklable specs (closures, lambdas, hosts) return ``None`` so
+    callers fall through to plain execution.
+    """
+    if not enabled():
+        return None
+    try:
+        spec = pickle.dumps((fn, args, sorted((kwargs or {}).items())), protocol=4)
+    except Exception:
+        return None
+    digest = hashlib.sha256()
+    digest.update(code_fingerprint().encode())
+    digest.update(spec)
+    return digest.hexdigest()
+
+
+def _path_for(key: str) -> Path:
+    return cache_dir() / key[:2] / f"{key}.pkl"
+
+
+def get(key: Optional[str]) -> Tuple[bool, Any]:
+    """Look up a key; returns ``(hit, value)``."""
+    if key is None:
+        return False, None
+    path = _path_for(key)
+    try:
+        with open(path, "rb") as fh:
+            return True, pickle.load(fh)
+    except FileNotFoundError:
+        return False, None
+    except Exception:
+        # A torn or stale entry is a miss; drop it so it gets rebuilt.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return False, None
+
+
+def put(key: Optional[str], value: Any) -> None:
+    """Store a value under a key (atomic, best-effort)."""
+    if key is None:
+        return
+    path = _path_for(key)
+    try:
+        payload = pickle.dumps(value, protocol=4)
+    except Exception:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory never fails the run.
+        pass
+
+
+def cached_call(fn: Any, *args: Any, **kwargs: Any) -> Any:
+    """Run ``fn(*args, **kwargs)`` through the cache."""
+    key = key_for(fn, args, kwargs)
+    hit, value = get(key)
+    if hit:
+        return value
+    value = fn(*args, **kwargs)
+    put(key, value)
+    return value

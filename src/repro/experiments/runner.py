@@ -23,33 +23,52 @@ P2MBuilder = Callable[[Host], None]
 #: extracts an app throughput from a run
 Metric = Callable[[RunResult], float]
 
+# Metrics and builders are frozen-dataclass callables rather than
+# closures so that experiments — and their bound run_* methods — can be
+# pickled into process-pool workers and hashed into run-cache keys.
 
-def c2m_bandwidth_metric(traffic_class: str = "c2m") -> Metric:
+
+@dataclass(frozen=True)
+class ClassBandwidthMetric:
     """C2M app throughput as its memory bandwidth (STREAM workloads)."""
 
-    def metric(result: RunResult) -> float:
-        return result.class_bandwidth(traffic_class)
+    traffic_class: str = "c2m"
 
-    return metric
+    def __call__(self, result: RunResult) -> float:
+        return result.class_bandwidth(self.traffic_class)
 
 
-def device_bandwidth_metric(name: str = "dma") -> Metric:
+@dataclass(frozen=True)
+class DeviceBandwidthMetric:
     """P2M app throughput as device data rate (FIO/NIC)."""
 
-    def metric(result: RunResult) -> float:
-        return result.device_bandwidth(name)
+    name: str = "dma"
 
-    return metric
+    def __call__(self, result: RunResult) -> float:
+        return result.device_bandwidth(self.name)
 
 
-def workload_ops_metric(name: str) -> Metric:
+@dataclass(frozen=True)
+class WorkloadOpsMetric:
     """App throughput as completed operations per ns (Redis queries,
     GAPBS edges)."""
 
-    def metric(result: RunResult) -> float:
-        return result.ops_rate(name)
+    name: str
 
-    return metric
+    def __call__(self, result: RunResult) -> float:
+        return result.ops_rate(self.name)
+
+
+def c2m_bandwidth_metric(traffic_class: str = "c2m") -> Metric:
+    return ClassBandwidthMetric(traffic_class)
+
+
+def device_bandwidth_metric(name: str = "dma") -> Metric:
+    return DeviceBandwidthMetric(name)
+
+
+def workload_ops_metric(name: str) -> Metric:
+    return WorkloadOpsMetric(name)
 
 
 @dataclass
@@ -140,17 +159,13 @@ class ColocationExperiment:
         self.build_p2m(host)
         return host.run(warmup, measure)
 
-    def point(
+    def _make_point(
         self,
         n_cores: int,
-        warmup: float = 20_000.0,
-        measure: float = 60_000.0,
-        p2m_isolated_run: Optional[RunResult] = None,
+        c2m_iso: RunResult,
+        p2m_iso: RunResult,
+        colocated: RunResult,
     ) -> ColocationPoint:
-        """Measure one data point (isolated pair + colocated run)."""
-        c2m_iso = self.run_c2m_isolated(n_cores, warmup, measure)
-        p2m_iso = p2m_isolated_run or self.run_p2m_isolated(warmup, measure)
-        colocated = self.run_colocated(n_cores, warmup, measure)
         return ColocationPoint(
             n_c2m_cores=n_cores,
             c2m_isolated=self.c2m_metric(c2m_iso),
@@ -162,15 +177,41 @@ class ColocationExperiment:
             p2m_isolated_run=p2m_iso,
         )
 
+    def point(
+        self,
+        n_cores: int,
+        warmup: float = 20_000.0,
+        measure: float = 60_000.0,
+        p2m_isolated_run: Optional[RunResult] = None,
+    ) -> ColocationPoint:
+        """Measure one data point (isolated pair + colocated run)."""
+        c2m_iso = self.run_c2m_isolated(n_cores, warmup, measure)
+        p2m_iso = p2m_isolated_run or self.run_p2m_isolated(warmup, measure)
+        colocated = self.run_colocated(n_cores, warmup, measure)
+        return self._make_point(n_cores, c2m_iso, p2m_iso, colocated)
+
     def sweep(
         self,
         core_counts: Sequence[int],
         warmup: float = 20_000.0,
         measure: float = 60_000.0,
+        jobs: Optional[int] = None,
     ) -> List[ColocationPoint]:
-        """Sweep C2M core counts; the P2M isolation run is shared."""
-        p2m_iso = self.run_p2m_isolated(warmup, measure)
+        """Sweep C2M core counts; the P2M isolation run is shared.
+
+        All ``2 * len(core_counts) + 1`` independent runs fan out over
+        a process pool (``REPRO_JOBS`` workers; see
+        :mod:`repro.experiments.parallel`).
+        """
+        from repro.experiments.parallel import run_calls
+
+        calls = [(self.run_p2m_isolated, (warmup, measure), {})]
+        for n in core_counts:
+            calls.append((self.run_c2m_isolated, (n, warmup, measure), {}))
+            calls.append((self.run_colocated, (n, warmup, measure), {}))
+        results = run_calls(calls, jobs=jobs)
+        p2m_iso = results[0]
         return [
-            self.point(n, warmup, measure, p2m_isolated_run=p2m_iso)
-            for n in core_counts
+            self._make_point(n, results[1 + 2 * k], p2m_iso, results[2 + 2 * k])
+            for k, n in enumerate(core_counts)
         ]

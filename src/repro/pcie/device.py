@@ -138,7 +138,7 @@ class DmaDevice:
             return
         if event is not None:
             event.cancel()
-        self._pump_event = self._sim.schedule_at(at, self._on_pump_event)
+        self._pump_event = self._sim.schedule_at_cancellable(at, self._on_pump_event)
 
     def _on_pump_event(self) -> None:
         self._pump_event = None

@@ -173,7 +173,7 @@ class Nic(DmaDevice):
         )
         self.ingress_rate = ingress_rate
         self.egress_read_rate = egress_read_rate
-        self._ingress_event = None
+        self._ingress_pending = False
 
     def start(self) -> None:
         """Start the DMA engine and, if configured, the ingress flow."""
@@ -186,15 +186,16 @@ class Nic(DmaDevice):
     def set_ingress_rate(self, rate: float) -> None:
         """Adjust the sender rate (used by the DCTCP control loop)."""
         self.ingress_rate = rate
-        if rate > 0 and self._ingress_event is None:
+        if rate > 0 and not self._ingress_pending:
             self._schedule_ingress()
 
     def _schedule_ingress(self) -> None:
         interval = CACHELINE_BYTES / self.ingress_rate
-        self._ingress_event = self._sim.schedule(interval, self._on_ingress)
+        self._ingress_pending = True
+        self._sim.schedule(interval, self._on_ingress)
 
     def _on_ingress(self) -> None:
-        self._ingress_event = None
+        self._ingress_pending = False
         now = self._sim.now
         if not self.rx.paused:
             self.rx.on_ingress_line(now)

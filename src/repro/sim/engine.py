@@ -3,20 +3,33 @@
 Time is measured in nanoseconds (floats). The engine guarantees that
 events scheduled for the same instant fire in scheduling order, which
 keeps component interactions deterministic run-to-run.
+
+The hot path stores plain ``(time, seq, fn, args)`` tuples in the heap:
+the overwhelming majority of events (every DRAM transmit, CHA hop,
+PCIe arrival, ...) are never cancelled, so they pay neither object
+allocation nor attribute lookups. Only :meth:`Simulator.schedule_cancellable`
+and :meth:`Simulator.schedule_at_cancellable` allocate an :class:`Event`
+wrapper, stored in the heap as ``(time, seq, None, event)`` so the
+dispatch loop can recognise it by its ``None`` callback slot. The
+unique ``seq`` ordinal guarantees tuple comparison never reaches the
+(uncomparable) callback slot.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
+from heapq import heappop, heappush
 from typing import Any, Callable
+
+_INF = float("inf")
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
-    Events are returned by :meth:`Simulator.schedule` so callers can
-    cancel them. A cancelled event stays in the heap but is skipped
-    when it surfaces (lazy deletion, the standard heapq idiom).
+    Events are returned by :meth:`Simulator.schedule_cancellable` so
+    callers can cancel them. A cancelled event stays in the heap but is
+    skipped when it surfaces (lazy deletion, the standard heapq idiom).
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -31,11 +44,6 @@ class Event:
     def cancel(self) -> None:
         """Prevent this event from firing. Safe to call more than once."""
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -52,12 +60,13 @@ class Simulator:
         sim.run_until(1_000.0)
 
     The clock never moves backwards; scheduling an event in the past
-    raises ``ValueError`` to surface modelling bugs early.
+    (or at a non-finite time) raises ``ValueError`` to surface
+    modelling bugs early.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq: int = 0
         self._events_processed: int = 0
 
@@ -71,21 +80,53 @@ class Simulator:
         """Number of events still in the heap (including cancelled)."""
         return len(self._heap)
 
-    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now.
 
-    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        Fast path: the entry cannot be cancelled and nothing is
+        allocated beyond the heap tuple. Use
+        :meth:`schedule_cancellable` when a handle is needed.
+        """
+        if not delay >= 0.0:  # catches negatives and NaN in one test
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        if time == _INF:
+            raise ValueError(f"cannot schedule at non-finite time (delay={delay})")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, fn, args))
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run at absolute time ``time`` ns."""
-        if time < self.now:
+        if not time >= self.now:  # catches the past and NaN in one test
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        if time == _INF:
+            raise ValueError(f"cannot schedule at non-finite time (time={time})")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, fn, args))
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if not delay >= 0.0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at_cancellable(self.now + delay, fn, *args)
+
+    def schedule_at_cancellable(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if not time >= self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        if not math.isfinite(time):
+            raise ValueError(f"cannot schedule at non-finite time (time={time})")
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, None, event))
         return event
 
     def run_until(self, t_end: float) -> None:
@@ -95,29 +136,50 @@ class Simulator:
         clock is left at ``t_end`` so back-to-back windows compose.
         """
         heap = self._heap
+        pop = heappop
+        processed = self._events_processed
         while heap:
-            event = heap[0]
-            if event.time >= t_end:
+            time = heap[0][0]
+            if time >= t_end:
                 break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
+            # Coalesce: dispatch every event at this timestamp with a
+            # single clock update and t_end comparison.
+            self.now = time
+            while heap and heap[0][0] == time:
+                entry = pop(heap)
+                fn = entry[2]
+                if fn is None:
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    processed += 1
+                    event.fn(*event.args)
+                else:
+                    processed += 1
+                    fn(*entry[3])
+        self._events_processed = processed
         self.now = t_end
 
     def run(self, max_events: int = 100_000_000) -> None:
         """Execute all pending events (bounded by ``max_events``)."""
         heap = self._heap
+        pop = heappop
         executed = 0
         while heap and executed < max_events:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            executed += 1
-            event.fn(*event.args)
+            entry = pop(heap)
+            fn = entry[2]
+            if fn is None:
+                event = entry[3]
+                if event.cancelled:
+                    continue
+                self.now = entry[0]
+                self._events_processed += 1
+                executed += 1
+                event.fn(*event.args)
+            else:
+                self.now = entry[0]
+                self._events_processed += 1
+                executed += 1
+                fn(*entry[3])
         if heap and executed >= max_events:
             raise RuntimeError(f"simulation exceeded {max_events} events")

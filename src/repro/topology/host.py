@@ -11,6 +11,7 @@ cannot observe.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -75,6 +76,11 @@ class RunResult:
     device_lines: Dict[str, int]
     device_ios: Dict[str, int]
     extra: Dict[str, float] = field(default_factory=dict)
+    #: engine performance over the measurement window (diagnostics;
+    #: ``events_per_sec`` is wall-clock simulator throughput)
+    events_processed: int = 0
+    sim_wall_s: float = 0.0
+    events_per_sec: float = 0.0
 
     # ------------------------- derived helpers -------------------------
 
@@ -386,8 +392,15 @@ class Host:
             self.sim.run_until(self.sim.now + warmup_ns)
         self.reset_measurement()
         t_start = self.sim.now
+        events_before = self.sim.events_processed
+        wall_before = time.perf_counter()
         self.sim.run_until(t_start + measure_ns)
-        return self.collect(self.sim.now - t_start)
+        wall_s = time.perf_counter() - wall_before
+        result = self.collect(self.sim.now - t_start)
+        result.events_processed = self.sim.events_processed - events_before
+        result.sim_wall_s = wall_s
+        result.events_per_sec = result.events_processed / wall_s if wall_s > 0 else 0.0
+        return result
 
     # ------------------------------------------------------------------
     # Collection

@@ -1,0 +1,111 @@
+"""Parallel sweep executor: determinism parity, fallback, errors."""
+
+import pytest
+
+from repro.experiments.parallel import default_jobs, run_calls
+from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
+
+# Short windows: parity cares about equality, not fidelity.
+WARMUP = 1_000.0
+MEASURE = 3_000.0
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestRunCalls:
+    def test_results_in_submission_order(self):
+        results = run_calls([(_square, (i,), {}) for i in range(8)], jobs=2)
+        assert results == [i * i for i in range(8)]
+
+    def test_serial_jobs_one(self):
+        results = run_calls([(_square, (i,), {}) for i in range(3)], jobs=1)
+        assert results == [0, 1, 4]
+
+    def test_unpicklable_calls_fall_back_to_serial(self):
+        captured = []
+        calls = [(lambda i=i: captured.append(i) or i, (), {}) for i in range(3)]
+        assert run_calls(calls, jobs=4) == [0, 1, 2]
+        assert captured == [0, 1, 2]
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_calls([(_square, (1,), {}), (_boom, (2,), {})], jobs=2)
+
+    def test_task_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_calls([(_boom, (2,), {})], jobs=1)
+
+    def test_cache_shared_between_batches(self):
+        first = run_calls([(_square, (7,), {})], jobs=1)
+        second = run_calls([(_square, (7,), {})], jobs=1)
+        assert first == second == [49]
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+
+class TestSweepParity:
+    """Parallel and serial sweeps are exactly identical (same seeds)."""
+
+    def test_quadrant_sweep_parallel_matches_serial_exactly(self):
+        experiment = quadrant_experiment(QUADRANTS[1])
+        serial = experiment.sweep([1, 2], WARMUP, MEASURE, jobs=1)
+        parallel = experiment.sweep([1, 2], WARMUP, MEASURE, jobs=2)
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.n_c2m_cores == p.n_c2m_cores
+            # Exact float equality: the runs are pure functions of
+            # (config, builders, seed, windows) regardless of process.
+            assert s.c2m_isolated == p.c2m_isolated
+            assert s.p2m_isolated == p.p2m_isolated
+            assert s.c2m_colocated == p.c2m_colocated
+            assert s.p2m_colocated == p.p2m_colocated
+            assert s.colocated.mem_bw_total == p.colocated.mem_bw_total
+            assert s.colocated.mem_bw_by_class == p.colocated.mem_bw_by_class
+            assert s.colocated.domain_latency == p.colocated.domain_latency
+            assert s.colocated.row_miss_ratio == p.colocated.row_miss_ratio
+
+    def test_parallel_and_cached_rerun_identical(self):
+        experiment = quadrant_experiment(QUADRANTS[2])
+        first = experiment.sweep([1], WARMUP, MEASURE, jobs=2)
+        # Second sweep is served from the run cache.
+        second = experiment.sweep([1], WARMUP, MEASURE, jobs=1)
+        assert first[0].c2m_colocated == second[0].c2m_colocated
+        assert (
+            first[0].colocated.mem_bw_by_class
+            == second[0].colocated.mem_bw_by_class
+        )
+
+
+class TestPerfStats:
+    def test_run_result_reports_engine_throughput(self):
+        experiment = quadrant_experiment(QUADRANTS[1])
+        result = experiment.run_c2m_isolated(1, WARMUP, MEASURE)
+        assert result.events_processed > 0
+        assert result.sim_wall_s > 0.0
+        assert result.events_per_sec > 0.0

@@ -1,0 +1,89 @@
+"""Run-cache behaviour: hit/miss, invalidation, escape hatches."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import runcache
+
+CALLS = []
+
+
+def _expensive(x, y=1):
+    """Module-level (picklable) stand-in for a simulation run."""
+    CALLS.append((x, y))
+    return {"value": x * y}
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    CALLS.clear()
+    yield tmp_path
+
+
+class TestKeying:
+    def test_key_is_deterministic(self):
+        assert runcache.key_for(_expensive, (3,), {"y": 2}) == runcache.key_for(
+            _expensive, (3,), {"y": 2}
+        )
+
+    def test_key_changes_with_args(self):
+        base = runcache.key_for(_expensive, (3,), {})
+        assert runcache.key_for(_expensive, (4,), {}) != base
+        assert runcache.key_for(_expensive, (3,), {"y": 5}) != base
+
+    def test_key_changes_with_code_version(self, monkeypatch):
+        base = runcache.key_for(_expensive, (3,), {})
+        monkeypatch.setattr(runcache, "_code_fingerprint", "different-version")
+        assert runcache.key_for(_expensive, (3,), {}) != base
+
+    def test_unpicklable_spec_returns_none(self):
+        assert runcache.key_for(lambda: None) is None
+
+    def test_disabled_returns_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert runcache.key_for(_expensive, (3,), {}) is None
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self):
+        key = runcache.key_for(_expensive, (3,), {"y": 2})
+        hit, _ = runcache.get(key)
+        assert not hit
+        runcache.put(key, {"value": 6})
+        hit, value = runcache.get(key)
+        assert hit and value == {"value": 6}
+
+    def test_cached_call_executes_once(self):
+        first = runcache.cached_call(_expensive, 3, y=2)
+        second = runcache.cached_call(_expensive, 3, y=2)
+        assert first == second == {"value": 6}
+        assert CALLS == [(3, 2)]
+
+    def test_parameter_change_is_a_miss(self):
+        runcache.cached_call(_expensive, 3, y=2)
+        runcache.cached_call(_expensive, 3, y=4)
+        assert CALLS == [(3, 2), (3, 4)]
+
+    def test_disabled_cache_always_executes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        runcache.cached_call(_expensive, 3, y=2)
+        runcache.cached_call(_expensive, 3, y=2)
+        assert CALLS == [(3, 2), (3, 2)]
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, isolated_cache):
+        key = runcache.key_for(_expensive, (3,), {})
+        runcache.put(key, {"value": 3})
+        path = runcache._path_for(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = runcache.get(key)
+        assert not hit
+        assert not path.exists()
+
+    def test_entries_land_under_cache_dir(self, isolated_cache):
+        runcache.cached_call(_expensive, 3, y=2)
+        entries = list(isolated_cache.rglob("*.pkl"))
+        assert len(entries) == 1
+        assert pickle.loads(entries[0].read_bytes()) == {"value": 6}

@@ -1,8 +1,10 @@
 """Unit tests for the discrete-event engine."""
 
+import math
+
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 def test_schedule_and_run_until_executes_in_order():
@@ -51,23 +53,67 @@ def test_schedule_in_past_raises():
         sim.schedule(-1.0, lambda: None)
     with pytest.raises(ValueError):
         sim.schedule_at(4.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_cancellable(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at_cancellable(4.0, lambda: None)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+def test_schedule_rejects_non_finite_delay(bad):
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(bad, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(bad, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_cancellable(bad, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at_cancellable(bad, lambda: None)
+    assert sim.pending == 0
 
 
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    event = sim.schedule(1.0, fired.append, "x")
+    event = sim.schedule_cancellable(1.0, fired.append, "x")
     event.cancel()
     sim.run_until(10.0)
     assert fired == []
+    assert sim.events_processed == 0
 
 
 def test_cancel_is_idempotent():
     sim = Simulator()
-    event = sim.schedule(1.0, lambda: None)
+    event = sim.schedule_cancellable(1.0, lambda: None)
     event.cancel()
     event.cancel()
     sim.run_until(2.0)
+
+
+def test_cancellable_event_fires_when_not_cancelled():
+    sim = Simulator()
+    got = []
+    event = sim.schedule_cancellable(2.0, got.append, "y")
+    assert isinstance(event, Event)
+    assert event.time == 2.0
+    sim.run_until(5.0)
+    assert got == ["y"]
+
+
+def test_fast_path_and_cancellable_interleave_in_seq_order():
+    """Tuple entries and Event entries share one heap and one total
+    order: (time, scheduling sequence), regardless of entry kind."""
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "t1")
+    sim.schedule_cancellable(3.0, order.append, "c1")
+    sim.schedule(3.0, order.append, "t2")
+    cancelled = sim.schedule_cancellable(3.0, order.append, "c2")
+    sim.schedule(1.0, order.append, "early")
+    cancelled.cancel()
+    sim.run_until(10.0)
+    assert order == ["early", "t1", "c1", "t2"]
 
 
 def test_events_scheduled_during_execution_run_same_pass():
@@ -83,6 +129,22 @@ def test_events_scheduled_during_execution_run_same_pass():
     assert order == ["first", "second"]
 
 
+def test_zero_delay_events_scheduled_during_execution_fire_same_timestamp():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("zero"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "peer")
+    sim.run_until(10.0)
+    # The zero-delay event lands at the same timestamp but a later
+    # sequence number, so it fires after the already-queued peer.
+    assert order == ["first", "peer", "zero"]
+
+
 def test_run_executes_everything():
     sim = Simulator()
     count = []
@@ -90,6 +152,17 @@ def test_run_executes_everything():
         sim.schedule(float(i), count.append, i)
     sim.run()
     assert len(count) == 10
+
+
+def test_run_skips_cancelled_events():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule_cancellable(1.0, fired.append, "keep")
+    drop = sim.schedule_cancellable(2.0, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert not keep.cancelled
 
 
 def test_run_max_events_guard():
@@ -114,7 +187,7 @@ def test_events_processed_counter():
 def test_pending_counts_heap_entries():
     sim = Simulator()
     sim.schedule(1.0, lambda: None)
-    sim.schedule(2.0, lambda: None)
+    sim.schedule_cancellable(2.0, lambda: None)
     assert sim.pending == 2
 
 
@@ -122,8 +195,9 @@ def test_event_args_passed_through():
     sim = Simulator()
     got = []
     sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
-    sim.run_until(2.0)
-    assert got == [(1, "two")]
+    sim.schedule_cancellable(2.0, lambda a: got.append(a), "three")
+    sim.run_until(3.0)
+    assert got == [(1, "two"), "three"]
 
 
 def test_back_to_back_windows_compose():
@@ -135,3 +209,32 @@ def test_back_to_back_windows_compose():
     assert fired == ["a"]
     sim.run_until(20.0)
     assert fired == ["a", "b"]
+
+
+def test_fast_path_matches_event_path_ordering():
+    """The same workload scheduled through either API produces the
+    identical execution order (the fast path changed representation,
+    not semantics)."""
+    delays = [5.0, 1.0, 1.0, 3.0, 1.0, 9.0, 3.0]
+
+    fast = Simulator()
+    fast_order = []
+    for i, d in enumerate(delays):
+        fast.schedule(d, fast_order.append, i)
+    fast.run_until(100.0)
+
+    slow = Simulator()
+    slow_order = []
+    for i, d in enumerate(delays):
+        slow.schedule_cancellable(d, slow_order.append, i)
+    slow.run_until(100.0)
+
+    assert fast_order == slow_order
+    assert fast.events_processed == slow.events_processed
+
+
+def test_now_is_finite_after_windows():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(50.0)
+    assert math.isfinite(sim.now)
