@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke check
+.PHONY: test bench bench-smoke check py310-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -12,9 +12,20 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only
 
+# Python-version-floor gate (requires-python = ">=3.10"): 3.11+-API
+# lint, plus byte-compile + validated smoke under a real 3.10 when one
+# is installed.
+py310-check:
+	$(PYTHON) tools/py310_check.py
+
 # PR smoke gate: tier-1 tests plus smoke-scale benches, exercising the
-# parallel sweep path (REPRO_JOBS=2) against a cold cache.
-check:
+# parallel sweep path (REPRO_JOBS=2) against a cold cache — once plain
+# and once with runtime invariant checking (REPRO_VALIDATE=1), which
+# must pass with zero violations.
+check: py310-check
 	$(PYTHON) -m pytest -x -q tests/
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
+		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+	REPRO_VALIDATE=1 REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 \
+		REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only

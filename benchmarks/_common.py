@@ -73,9 +73,11 @@ def run_once(benchmark, fn):
     """
     from repro.experiments import runcache
     from repro.experiments.parallel import default_jobs
+    from repro.validate import enabled as validate_enabled
 
     benchmark.extra_info["jobs"] = default_jobs()
     benchmark.extra_info["cache"] = "on" if runcache.enabled() else "off"
+    benchmark.extra_info["validate"] = "on" if validate_enabled() else "off"
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 

@@ -21,6 +21,11 @@ class LineFillBuffer:
             raise ValueError("LFB size must be positive")
         self.size = size
         self._occ = occupancy
+        #: lifetime credit-event counts, consumed by the credit
+        #: conservation check of :mod:`repro.validate` (credits freed
+        #: must equal credits acquired, net of occupancy drift).
+        self.alloc_count = 0
+        self.free_count = 0
 
     @property
     def in_use(self) -> int:
@@ -36,10 +41,12 @@ class LineFillBuffer:
         """Consume one credit (entry allocated on an L1 miss)."""
         if not self.has_free_entry:
             raise RuntimeError("LFB allocation without a free entry")
+        self.alloc_count += 1
         self._occ.update(now, +1)
 
     def free(self, now: float) -> None:
         """Replenish one credit (the miss fully resolved)."""
+        self.free_count += 1
         self._occ.update(now, -1)
 
     def average_occupancy(self, now: float) -> float:

@@ -400,6 +400,29 @@ class Channel:
         """Writes currently admitted to the WPQ."""
         return self._wpq_count
 
+    @property
+    def rpq_reserved(self) -> int:
+        """RPQ slots claimed by reads in transit from the CHA."""
+        return self._rpq_reserved
+
+    @property
+    def wpq_reserved(self) -> int:
+        """WPQ slots claimed by writes in transit from the CHA."""
+        return self._wpq_reserved
+
+    def queued_in_banks(self) -> tuple:
+        """``(reads, writes)`` sitting in per-bank queues right now.
+
+        Every admitted request lives in exactly one bank queue until
+        its transmit completes, so these must reconcile with
+        ``rpq_count``/``wpq_count`` net of the single request whose
+        transmit is in flight — the queue-accounting identity checked
+        by :mod:`repro.validate`.
+        """
+        reads = sum(len(bank.read_q) for bank in self.banks)
+        writes = sum(len(bank.write_q) for bank in self.banks)
+        return reads, writes
+
     def reset_stats(self, now: float) -> None:
         """Start a fresh measurement window for this channel."""
         self.stats.reset()

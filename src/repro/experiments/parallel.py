@@ -26,6 +26,7 @@ Control knobs and behaviour:
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
@@ -58,17 +59,54 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def _callable_name(fn: Callable[..., Any]) -> str:
+    """Short display name for any callable.
+
+    Plain functions and bound methods have ``__qualname__``;
+    ``functools.partial`` and callable instances have neither
+    ``__qualname__`` nor ``__name__``, so fall back to a structural
+    name rather than embedding the object's full repr.
+    """
+    name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", None)
+    if name is not None:
+        return name
+    if isinstance(fn, functools.partial):
+        return f"functools.partial({_callable_name(fn.func)})"
+    return type(fn).__name__
+
+
 def _describe(call: Call) -> str:
     fn, args, kwargs = call
-    name = getattr(fn, "__qualname__", None)
-    if name is None:  # bound method of a picklable experiment
-        name = f"{type(fn).__name__}.{fn}"
     owner = getattr(fn, "__self__", None)
-    if owner is not None:
+    if owner is not None and hasattr(fn, "__name__"):
         name = f"{type(owner).__name__}.{fn.__name__}"
+    else:
+        name = _callable_name(fn)
     parts = [repr(a) for a in args] + [f"{k}={v!r}" for k, v in kwargs.items()]
     text = f"{name}({', '.join(parts)})"
     return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _annotate(exc: BaseException, note: str) -> None:
+    """Attach a context note to an exception without changing its type.
+
+    ``BaseException.add_note`` exists only on Python >= 3.11 while the
+    package floor is 3.10 (``requires-python = ">=3.10"``); on older
+    interpreters set ``__notes__`` by hand, which tracebacks on 3.11+
+    render identically and callers can always inspect.
+    """
+    add_note = getattr(exc, "add_note", None)
+    if callable(add_note):
+        add_note(note)  # py310-ok: guarded by the getattr above
+        return
+    try:
+        notes = getattr(exc, "__notes__", None)
+        if notes is None:
+            exc.__notes__ = [note]
+        else:
+            notes.append(note)
+    except Exception:  # pragma: no cover - exotic exception classes
+        pass
 
 
 def _run_payload(payload: bytes) -> Any:
@@ -109,6 +147,8 @@ def run_calls(
         except Exception:
             parallel = False  # unpicklable builder: serial fallback
 
+    first_error: Optional[Tuple[int, BaseException]] = None
+    crash: Optional[Tuple[int, BaseException]] = None
     if parallel:
         workers = min(n_jobs, len(missing))
         with ProcessPoolExecutor(
@@ -120,21 +160,39 @@ def run_calls(
                 try:
                     results[i] = future.result()
                 except BrokenProcessPool as exc:
-                    raise RuntimeError(
-                        f"parallel worker crashed while running "
-                        f"{_describe(calls[i])}; rerun with REPRO_JOBS=1 "
-                        f"to execute serially"
-                    ) from exc
+                    crash = (i, exc)
+                    break
                 except Exception as exc:
-                    exc.add_note(f"raised in parallel task {_describe(calls[i])}")
-                    raise
+                    if first_error is None:
+                        first_error = (i, exc)
     else:
         for i in missing:
             fn, args, kwargs = calls[i]
-            results[i] = fn(*args, **kwargs)
+            try:
+                results[i] = fn(*args, **kwargs)
+            except Exception as exc:
+                first_error = (i, exc)
+                break
 
+    # Persist completed siblings even when the batch failed: their
+    # results are final, so a rerun after fixing the failing task
+    # should not recompute them.
     for i in missing:
-        runcache.put(keys[i], results[i])
+        if i in results:
+            runcache.put(keys[i], results[i])
+
+    if crash is not None:
+        i, exc = crash
+        raise RuntimeError(
+            f"parallel worker crashed while running "
+            f"{_describe(calls[i])}; rerun with REPRO_JOBS=1 "
+            f"to execute serially"
+        ) from exc
+    if first_error is not None:
+        i, exc = first_error
+        mode = "parallel" if parallel else "serial"
+        _annotate(exc, f"raised in {mode} task {_describe(calls[i])}")
+        raise exc
     return [results[i] for i in range(len(calls))]
 
 

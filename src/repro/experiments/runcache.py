@@ -80,8 +80,15 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
         spec = pickle.dumps((fn, args, sorted((kwargs or {}).items())), protocol=4)
     except Exception:
         return None
+    from repro.validate.invariants import enabled as validate_enabled
+
     digest = hashlib.sha256()
     digest.update(code_fingerprint().encode())
+    # Validated and unvalidated runs are float-identical by contract,
+    # but their RunResults differ in the recorded check count — and a
+    # REPRO_VALIDATE=1 suite must actually execute its checks rather
+    # than replay an unvalidated cache. Keep the namespaces separate.
+    digest.update(b"validate=1" if validate_enabled() else b"validate=0")
     digest.update(spec)
     return digest.hexdigest()
 

@@ -119,6 +119,11 @@ class ColocationExperiment:
         build_p2m: attaches the P2M app to a host.
         c2m_metric / p2m_metric: app throughput extractors.
         seed: deterministic region placement / workload seed.
+        validate: runtime invariant checking (:mod:`repro.validate`)
+            for every host this experiment builds; ``None`` defers to
+            the ``REPRO_VALIDATE`` environment knob. Part of the
+            experiment's identity, so validated and unvalidated runs
+            never share run-cache entries.
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class ColocationExperiment:
         c2m_metric: Optional[Metric] = None,
         p2m_metric: Optional[Metric] = None,
         seed: int = 1,
+        validate: Optional[bool] = None,
     ):
         self.config = config
         self.build_c2m = build_c2m
@@ -136,9 +142,10 @@ class ColocationExperiment:
         self.c2m_metric = c2m_metric or c2m_bandwidth_metric()
         self.p2m_metric = p2m_metric or device_bandwidth_metric()
         self.seed = seed
+        self.validate = validate
 
     def _new_host(self) -> Host:
-        return Host(self.config, seed=self.seed)
+        return Host(self.config, seed=self.seed, validate=self.validate)
 
     def run_c2m_isolated(self, n_cores: int, warmup: float, measure: float) -> RunResult:
         """Run only the C2M app."""

@@ -134,7 +134,13 @@ class Simulator:
 
         Events scheduled exactly at ``t_end`` are *not* executed; the
         clock is left at ``t_end`` so back-to-back windows compose.
+        The clock never moves backwards: ``t_end < now`` (or NaN)
+        raises ``ValueError``, mirroring the schedulers.
         """
+        if not t_end >= self.now:  # catches rewinds and NaN in one test
+            raise ValueError(
+                f"cannot run backwards (t_end={t_end}, now={self.now})"
+            )
         heap = self._heap
         pop = heappop
         processed = self._events_processed
@@ -181,5 +187,12 @@ class Simulator:
                 self._events_processed += 1
                 executed += 1
                 fn(*entry[3])
-        if heap and executed >= max_events:
-            raise RuntimeError(f"simulation exceeded {max_events} events")
+        if executed >= max_events:
+            # Lazy-deleted (cancelled) entries are not pending work:
+            # drain them before deciding the budget was exceeded, so a
+            # run of exactly ``max_events`` live events with only
+            # cancelled residue in the heap completes cleanly.
+            while heap and heap[0][2] is None and heap[0][3].cancelled:
+                pop(heap)
+            if heap:
+                raise RuntimeError(f"simulation exceeded {max_events} events")

@@ -11,9 +11,13 @@ before bandwidth saturation (§5.1).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # minimal interpreters (e.g. the 3.10 floor check)
+    np = None  # type: ignore[assignment]
 
 
 class BankLoadSampler:
@@ -71,8 +75,18 @@ def bank_deviation_cdf(
     """Empirical CDF of bank deviation samples.
 
     Returns ``(x, F)`` arrays suitable for plotting against Fig. 7d.
-    ``grid`` defaults to the sorted sample values.
+    ``grid`` defaults to the sorted sample values. Without numpy the
+    same values come back as plain lists.
     """
+    if np is None:
+        data = sorted(float(d) for d in deviations)
+        n = len(data)
+        if n == 0:
+            return [], []  # type: ignore[return-value]
+        if grid is None:
+            return data, [k / n for k in range(1, n + 1)]  # type: ignore[return-value]
+        x = [float(g) for g in grid]
+        return x, [bisect_right(data, g) / n for g in x]  # type: ignore[return-value]
     data = np.asarray(sorted(deviations), dtype=float)
     if data.size == 0:
         return np.array([]), np.array([])

@@ -22,8 +22,17 @@ def littles_law_latency(avg_occupancy: float, rate_per_ns: float) -> float:
     Returns:
         Average latency in nanoseconds; 0.0 when the rate is zero
         (an idle system has no meaningful latency sample).
+
+    Raises:
+        ValueError: on negative occupancy or negative rate — both are
+            accounting bugs (a queue cannot hold fewer than zero
+            requests), not meaningful inputs.
     """
-    if rate_per_ns <= 0:
+    if avg_occupancy < 0:
+        raise ValueError(f"negative occupancy {avg_occupancy}; accounting bug")
+    if rate_per_ns < 0:
+        raise ValueError(f"negative rate {rate_per_ns}; accounting bug")
+    if rate_per_ns == 0:
         return 0.0
     return avg_occupancy / rate_per_ns
 

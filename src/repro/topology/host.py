@@ -30,6 +30,8 @@ from repro.topology.presets import HostConfig
 from repro.uncore.cha import CHA
 from repro.uncore.iio import IIO
 from repro.uncore.llc import LastLevelCache
+from repro.validate import ValidatingSimulator, Validator
+from repro.validate import enabled as validate_enabled
 
 
 @dataclass
@@ -81,6 +83,9 @@ class RunResult:
     events_processed: int = 0
     sim_wall_s: float = 0.0
     events_per_sec: float = 0.0
+    #: invariant checks passed by :mod:`repro.validate` over this
+    #: window; 0 when validation was off (the default)
+    invariant_checks: int = 0
 
     # ------------------------- derived helpers -------------------------
 
@@ -132,9 +137,18 @@ class Host:
     #: generous guard gap between allocated regions (lines)
     _REGION_GUARD = 1 << 20
 
-    def __init__(self, config: HostConfig, seed: int = 1):
+    def __init__(
+        self,
+        config: HostConfig,
+        seed: int = 1,
+        validate: Optional[bool] = None,
+    ):
         self.config = config
-        self.sim = Simulator()
+        #: runtime invariant checking (repro.validate): ``None``
+        #: defers to the ``REPRO_VALIDATE`` environment knob.
+        self.validate = validate_enabled() if validate is None else bool(validate)
+        self.sim = ValidatingSimulator() if self.validate else Simulator()
+        self._validator: Optional[Validator] = Validator() if self.validate else None
         self.hub = CounterHub()
         self._rng = random.Random(seed)
         self._region_cursor = 0
@@ -367,6 +381,8 @@ class Host:
         if self._started:
             return
         self._started = True
+        if self._validator is not None:
+            self._validator.install(self)
         for core in self.cores:
             core.start()
         for device in self.devices.values():
@@ -391,6 +407,8 @@ class Host:
         if warmup_ns > 0:
             self.sim.run_until(self.sim.now + warmup_ns)
         self.reset_measurement()
+        if self._validator is not None:
+            self._validator.begin_window(self)
         t_start = self.sim.now
         events_before = self.sim.events_processed
         wall_before = time.perf_counter()
@@ -400,6 +418,8 @@ class Host:
         result.events_processed = self.sim.events_processed - events_before
         result.sim_wall_s = wall_s
         result.events_per_sec = result.events_processed / wall_s if wall_s > 0 else 0.0
+        if self._validator is not None:
+            result.invariant_checks = self._validator.end_window(self)
         return result
 
     # ------------------------------------------------------------------

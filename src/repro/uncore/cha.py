@@ -268,6 +268,11 @@ class CHA:
         return sum(len(q) for q in self._write_backlog)
 
     @property
+    def read_backlog_len(self) -> int:
+        """Reads waiting for RPQ space across channels."""
+        return sum(len(q) for q in self._read_backlog)
+
+    @property
     def admission_queue_len(self) -> int:
         """Requests waiting in the shared ingress (HoL queue)."""
         return len(self._ingress)

@@ -44,6 +44,12 @@ class IIO:
         self.t_iio_to_cha = t_iio_to_cha
         self.write_occ = hub.occupancy("iio.write", write_entries)
         self.read_occ = hub.occupancy("iio.read", read_entries)
+        #: lifetime credit-event counts per pool, consumed by the
+        #: credit conservation check of :mod:`repro.validate`.
+        self.write_alloc_count = 0
+        self.write_release_count = 0
+        self.read_alloc_count = 0
+        self.read_release_count = 0
         self._credit_waiters: List[Callable[[], None]] = []
         # Wired by the host: called by request_admission's target.
         self.cha_admission: Optional[Callable[[Request], None]] = None
@@ -63,8 +69,10 @@ class IIO:
         now = self._sim.now
         req.t_alloc = now
         if req.kind is RequestKind.WRITE:
+            self.write_alloc_count += 1
             self.write_occ.update(now, +1)
         else:
+            self.read_alloc_count += 1
             self.read_occ.update(now, +1)
 
     def release(self, req: Request) -> None:
@@ -72,11 +80,13 @@ class IIO:
         now = self._sim.now
         req.t_free = now
         if req.kind is RequestKind.WRITE:
+            self.write_release_count += 1
             self.write_occ.update(now, -1)
             self._hub.latency(f"domain.p2m_write.{req.traffic_class}").record(
                 now - req.t_alloc
             )
         else:
+            self.read_release_count += 1
             self.read_occ.update(now, -1)
             self._hub.latency(f"domain.p2m_read.{req.traffic_class}").record(
                 now - req.t_alloc

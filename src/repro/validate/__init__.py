@@ -1,0 +1,43 @@
+"""Runtime invariant checking for the host-network simulator.
+
+Opt-in via ``REPRO_VALIDATE=1`` (or ``Host(..., validate=True)`` /
+``ColocationExperiment(..., validate=True)``); off by default so the
+engine fast path stays fast. See :mod:`repro.validate.invariants` for
+the identities checked and :mod:`repro.validate.harness` for the
+differential (serial / parallel / cached / validated) parity harness.
+
+Usage::
+
+    REPRO_VALIDATE=1 python -m pytest benchmarks/ --benchmark-only
+
+or programmatically::
+
+    from repro import Host, cascade_lake
+    host = Host(cascade_lake(), validate=True)
+    result = host.run()
+    assert result.invariant_checks > 0
+"""
+
+from repro.validate.engine import (
+    ValidatingSimulator,
+    dispatch_equivalence_selftest,
+    verify_heap,
+)
+from repro.validate.invariants import (
+    DEFAULT_TOLERANCE,
+    InvariantViolation,
+    enabled,
+    tolerance,
+)
+from repro.validate.probes import Validator
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "InvariantViolation",
+    "ValidatingSimulator",
+    "Validator",
+    "dispatch_equivalence_selftest",
+    "enabled",
+    "tolerance",
+    "verify_heap",
+]

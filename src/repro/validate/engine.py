@@ -1,0 +1,210 @@
+"""Engine-level probes: a checking simulator and a dispatch self-test.
+
+:class:`ValidatingSimulator` is a drop-in :class:`~repro.sim.engine.Simulator`
+whose dispatch loops verify, per event, that
+
+* the clock is monotone (an event's timestamp never precedes ``now``);
+* every heap entry is well-formed — a ``(time, seq, fn, args)`` tuple
+  for the fast path or ``(time, seq, None, event)`` for the
+  cancellable path, with the wrapper's ``time``/``seq`` agreeing with
+  its heap key;
+
+and whose :meth:`verify_heap` checks the binary-heap ordering property
+of the whole pending set (O(n), so it runs at window boundaries, not
+per event). Dispatch order, ``events_processed`` and the clock
+trajectory are bit-identical to the base class: validation must never
+change what it validates.
+
+:func:`dispatch_equivalence_selftest` replays one scripted workload
+through the fast path and the cancellable path and demands identical
+execution order — the two heap representations are an optimization,
+not a semantic fork.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+
+from repro.sim.engine import Event, Simulator
+from repro.validate.invariants import InvariantViolation
+
+
+class ValidatingSimulator(Simulator):
+    """Simulator with per-event invariant checks (REPRO_VALIDATE=1)."""
+
+    def _check_entry(self, entry) -> None:
+        if not isinstance(entry, tuple) or len(entry) != 4:
+            raise InvariantViolation(
+                "engine",
+                "heap-entry-shape",
+                f"malformed heap entry {entry!r}",
+            )
+        time, seq, fn, payload = entry
+        if time < self.now:
+            raise InvariantViolation(
+                "engine",
+                "clock-monotonicity",
+                f"event at t={time} surfaced after now={self.now}",
+                details={"seq": seq},
+            )
+        if fn is None:
+            if not isinstance(payload, Event):
+                raise InvariantViolation(
+                    "engine",
+                    "heap-entry-shape",
+                    f"None-callback entry without Event payload: {payload!r}",
+                )
+            if payload.time != time or payload.seq != seq:
+                raise InvariantViolation(
+                    "engine",
+                    "heap-entry-shape",
+                    "Event wrapper disagrees with its heap key",
+                    details={
+                        "key": (time, seq),
+                        "event": (payload.time, payload.seq),
+                    },
+                )
+        elif not callable(fn):
+            raise InvariantViolation(
+                "engine",
+                "heap-entry-shape",
+                f"non-callable fast-path callback {fn!r}",
+            )
+
+    def verify_heap(self) -> int:
+        """Check the pending set's heap property (see :func:`verify_heap`)."""
+        return verify_heap(self)
+
+    # The loops mirror Simulator.run_until / Simulator.run exactly —
+    # same coalescing, same counters — plus the per-entry checks.
+
+    def run_until(self, t_end: float) -> None:
+        if not t_end >= self.now:
+            raise ValueError(
+                f"cannot run backwards (t_end={t_end}, now={self.now})"
+            )
+        heap = self._heap
+        pop = heappop
+        processed = self._events_processed
+        while heap:
+            time = heap[0][0]
+            if time >= t_end:
+                break
+            self._check_entry(heap[0])
+            self.now = time
+            while heap and heap[0][0] == time:
+                entry = pop(heap)
+                self._check_entry(entry)
+                fn = entry[2]
+                if fn is None:
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    processed += 1
+                    event.fn(*event.args)
+                else:
+                    processed += 1
+                    fn(*entry[3])
+        self._events_processed = processed
+        self.now = t_end
+
+    def run(self, max_events: int = 100_000_000) -> None:
+        heap = self._heap
+        pop = heappop
+        executed = 0
+        while heap and executed < max_events:
+            entry = pop(heap)
+            self._check_entry(entry)
+            fn = entry[2]
+            if fn is None:
+                event = entry[3]
+                if event.cancelled:
+                    continue
+                self.now = entry[0]
+                self._events_processed += 1
+                executed += 1
+                event.fn(*event.args)
+            else:
+                self.now = entry[0]
+                self._events_processed += 1
+                executed += 1
+                fn(*entry[3])
+        if executed >= max_events:
+            while heap and heap[0][2] is None and heap[0][3].cancelled:
+                pop(heap)
+            if heap:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+
+
+def verify_heap(sim: Simulator) -> int:
+    """Check the heap ordering property over every pending entry.
+
+    Works on any :class:`Simulator` (not only the validating
+    subclass). Returns the number of entries verified; raises
+    :class:`InvariantViolation` on a violated parent/child order,
+    which would mean events could fire out of timestamp order.
+    O(n) over the pending set, so call it at window boundaries.
+    """
+    heap = sim._heap
+    n = len(heap)
+    for parent in range(n):
+        key = heap[parent][:2]
+        for child in (2 * parent + 1, 2 * parent + 2):
+            if child < n and heap[child][:2] < key:
+                raise InvariantViolation(
+                    "engine",
+                    "heap-order",
+                    f"heap property violated at index {parent}",
+                    details={
+                        "parent": heap[parent][:2],
+                        "child": heap[child][:2],
+                    },
+                )
+    return n
+
+
+#: scripted delays for the dispatch self-test: repeats, zero gaps and
+#: out-of-order submission exercise the (time, seq) total order.
+_SELFTEST_DELAYS = (5.0, 1.0, 1.0, 3.0, 0.0, 9.0, 3.0, 1.0, 7.0, 0.0, 2.0, 5.0)
+
+
+def dispatch_equivalence_selftest() -> None:
+    """Fast-path and cancellable-path dispatch must be order-identical.
+
+    Runs the same scripted workload through ``schedule`` and through
+    ``schedule_cancellable`` (with one cancelled straggler in the
+    latter) and raises :class:`InvariantViolation` if execution order
+    or the processed-event count diverge. Cheap (a few dozen events);
+    the validator runs it once per host.
+    """
+    fast = Simulator()
+    fast_order: list = []
+    for i, delay in enumerate(_SELFTEST_DELAYS):
+        fast.schedule(delay, fast_order.append, i)
+    fast.run_until(100.0)
+
+    slow = Simulator()
+    slow_order: list = []
+    for i, delay in enumerate(_SELFTEST_DELAYS):
+        slow.schedule_cancellable(delay, slow_order.append, i)
+    straggler = slow.schedule_cancellable(4.0, slow_order.append, "cancelled")
+    straggler.cancel()
+    slow.run_until(100.0)
+
+    if fast_order != slow_order:
+        raise InvariantViolation(
+            "engine",
+            "dispatch-equivalence",
+            "fast-path and cancellable-path execution orders diverge",
+            details={"fast": fast_order, "cancellable": slow_order},
+        )
+    if fast.events_processed != slow.events_processed:
+        raise InvariantViolation(
+            "engine",
+            "dispatch-equivalence",
+            "processed-event counts diverge between dispatch paths",
+            details={
+                "fast": fast.events_processed,
+                "cancellable": slow.events_processed,
+            },
+        )

@@ -1,0 +1,102 @@
+"""Differential harness: execution mode must never change results.
+
+A run is a pure function of (config, builders, seed, windows); the
+executor — serial in-process, process-pool parallel, served from the
+run cache, or instrumented by the validator — is an implementation
+detail. :func:`differential_point` executes one colocation data point
+through all four modes and :func:`assert_results_identical` demands
+float-identical :class:`~repro.topology.host.RunResult`\\ s, excluding
+only the wall-clock diagnostics (``sim_wall_s``, ``events_per_sec``)
+and the validator's own check count, which describe the execution
+rather than the simulated system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict, List, Optional
+
+#: RunResult fields describing the execution, not the simulated system.
+DIAGNOSTIC_FIELDS = frozenset({"sim_wall_s", "events_per_sec", "invariant_checks"})
+
+
+def result_payload(result: Any) -> Dict[str, Any]:
+    """A RunResult's comparable content (diagnostics stripped)."""
+    return {
+        f.name: getattr(result, f.name)
+        for f in fields(result)
+        if f.name not in DIAGNOSTIC_FIELDS
+    }
+
+
+def assert_results_identical(a: Any, b: Any, context: str = "") -> None:
+    """Demand two RunResults agree float-for-float.
+
+    Raises ``AssertionError`` naming every differing field; the
+    comparison is exact (no tolerance) because determinism is the
+    contract, not an approximation.
+    """
+    pa, pb = result_payload(a), result_payload(b)
+    diffs = [name for name in pa if pa[name] != pb[name]]
+    if diffs:
+        where = f" ({context})" if context else ""
+        lines = [f"RunResults diverge{where} in: {', '.join(diffs)}"]
+        for name in diffs[:5]:
+            lines.append(f"  {name}: {pa[name]!r} != {pb[name]!r}")
+        raise AssertionError("\n".join(lines))
+
+
+def differential_point(
+    experiment: Any,
+    n_cores: int,
+    warmup: float,
+    measure: float,
+    jobs: int = 2,
+) -> Dict[str, List[Any]]:
+    """Run one colocation point serial / parallel / cached / validated.
+
+    ``experiment`` is a :class:`~repro.experiments.runner.ColocationExperiment`;
+    the four sweeps must be float-identical. Returns the per-mode
+    results keyed ``serial`` / ``parallel`` / ``cached`` /
+    ``validated`` after asserting pairwise agreement against the
+    serial baseline.
+    """
+    modes: Dict[str, List[Any]] = {}
+    serial = experiment.sweep([n_cores], warmup, measure, jobs=1)
+    modes["serial"] = serial
+    modes["parallel"] = experiment.sweep([n_cores], warmup, measure, jobs=jobs)
+    # The parallel sweep populated the run cache (unless REPRO_CACHE=off);
+    # this sweep replays from it.
+    modes["cached"] = experiment.sweep([n_cores], warmup, measure, jobs=1)
+    validated = _with_validate(experiment)
+    modes["validated"] = validated.sweep([n_cores], warmup, measure, jobs=1)
+
+    baseline = modes["serial"][0]
+    for mode in ("parallel", "cached", "validated"):
+        point = modes[mode][0]
+        for attr in ("c2m_isolated_run", "p2m_isolated_run", "colocated"):
+            assert_results_identical(
+                getattr(baseline, attr),
+                getattr(point, attr),
+                context=f"serial vs {mode}: {attr}",
+            )
+    if modes["validated"][0].colocated.invariant_checks <= 0:
+        raise AssertionError(
+            "validated differential run reported no invariant checks"
+        )
+    return modes
+
+
+def _with_validate(experiment: Any) -> Any:
+    """Clone a ColocationExperiment with validation forced on."""
+    from repro.experiments.runner import ColocationExperiment
+
+    return ColocationExperiment(
+        experiment.config,
+        experiment.build_c2m,
+        experiment.build_p2m,
+        c2m_metric=experiment.c2m_metric,
+        p2m_metric=experiment.p2m_metric,
+        seed=experiment.seed,
+        validate=True,
+    )

@@ -1,0 +1,88 @@
+"""Structured invariant violations and the ``REPRO_VALIDATE`` gate.
+
+The paper's argument rests on accounting identities — per-domain
+credit conservation, the throughput bound ``T <= C * 64 / L``, and
+Little's-law consistency between occupancy counters and direct
+timestamps (§4.2). :mod:`repro.validate` checks them at runtime so a
+modelling bug fails loudly instead of silently producing
+plausible-looking figures.
+
+Environment knobs:
+
+* ``REPRO_VALIDATE=1`` (also ``on``/``yes``/``true``) enables the
+  checker; it is **off by default** so the engine fast path stays
+  fast.
+* ``REPRO_VALIDATE_TOL=<float>`` overrides the relative tolerance of
+  the statistical (Little's-law / throughput-bound) checks; the
+  structural checks (conservation, capacity, heap health) are exact
+  and ignore it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+#: default relative tolerance for steady-state statistical identities.
+#: Window-edge effects (requests in flight across the reset boundary)
+#: perturb short windows, so this is deliberately loose; structural
+#: identities are checked exactly.
+DEFAULT_TOLERANCE = 0.25
+
+#: a statistical check needs this many latency samples to be meaningful
+MIN_SAMPLES = 200
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_VALIDATE`` asks for runtime invariant checking."""
+    return os.environ.get("REPRO_VALIDATE", "").strip().lower() in (
+        "1",
+        "on",
+        "yes",
+        "true",
+    )
+
+
+def tolerance() -> float:
+    """Relative tolerance for the statistical identities."""
+    raw = os.environ.get("REPRO_VALIDATE_TOL", "").strip()
+    if not raw:
+        return DEFAULT_TOLERANCE
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_VALIDATE_TOL must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"REPRO_VALIDATE_TOL must be positive, got {value}")
+    return value
+
+
+class InvariantViolation(AssertionError):
+    """A runtime accounting identity failed.
+
+    Carries enough structure to localize the bug without a debugger:
+    the component (``"core0.lfb"``, ``"mc.ch2.wpq"``, ``"engine"``),
+    the identity that failed (``"credit-conservation"``,
+    ``"littles-law"``, ...), the measurement window, and the observed
+    values.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        identity: str,
+        message: str,
+        window: Optional[Tuple[float, float]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ):
+        self.component = component
+        self.identity = identity
+        self.window = window
+        self.details = dict(details or {})
+        text = f"[{component}] {identity}: {message}"
+        if window is not None:
+            text += f" (window {window[0]:.1f}..{window[1]:.1f} ns)"
+        if self.details:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+            text += f" [{rendered}]"
+        super().__init__(text)

@@ -1,0 +1,436 @@
+"""Cross-layer invariant probes over a :class:`~repro.topology.host.Host`.
+
+The :class:`Validator` is installed by the host when validation is on
+(``REPRO_VALIDATE=1`` or ``Host(..., validate=True)``). It snapshots
+credit-event counters at the start of the measurement window and, at
+the end of the window, walks every layer:
+
+* **engine** — clock monotone and finite, heap property intact,
+  fast-path vs cancellable-path dispatch equivalence (a scripted
+  self-test run once at install);
+* **credit domains** — LFB and IIO pool occupancy within ``[0, C]``
+  and *credit conservation*: credits freed equal credits acquired net
+  of the occupancy drift across the window;
+* **queues** — RPQ/WPQ occupancy within capacity, occupancy counters
+  agreeing with the scheduler's own counts, per-bank FIFO contents
+  reconciling with queue counts, CHA ingress/stage/backlog accounting;
+* **telemetry** — Little's-law latency (``L = O / R``, §4.2) from
+  occupancy counters agreeing with direct per-request timestamps
+  within a tolerance, and the paper's throughput bound
+  ``T <= C * 64 / L`` restated as ``R * L <= C``.
+
+Structural identities are exact; statistical identities use
+``REPRO_VALIDATE_TOL`` (default 0.25) and require ``MIN_SAMPLES``
+latency samples, because requests in flight across the window reset
+perturb short windows. All probes are read-only: a validated run
+executes the identical event sequence and produces float-identical
+results (only the wall-clock diagnostics and the check count differ).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.telemetry.littleslaw import littles_law_latency
+from repro.validate.engine import dispatch_equivalence_selftest, verify_heap
+from repro.validate.invariants import (
+    MIN_SAMPLES,
+    InvariantViolation,
+    tolerance as default_tolerance,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (host imports us)
+    from repro.topology.host import Host
+
+
+class Validator:
+    """Window-scoped invariant checker for one host."""
+
+    def __init__(
+        self,
+        tolerance: Optional[float] = None,
+        min_samples: int = MIN_SAMPLES,
+    ):
+        self.tolerance = default_tolerance() if tolerance is None else tolerance
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.min_samples = min_samples
+        self.checks_passed = 0
+        self._t0 = 0.0
+        self._now = 0.0
+        self._snapshot: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called by Host)
+    # ------------------------------------------------------------------
+
+    def install(self, host: "Host") -> None:
+        """One-time probe setup; runs the engine dispatch self-test."""
+        dispatch_equivalence_selftest()
+        self.checks_passed += 1
+
+    def begin_window(self, host: "Host") -> None:
+        """Snapshot credit-event counters at the window start."""
+        self._t0 = self._now = host.sim.now
+        snap = self._snapshot = {}
+        for core in host.cores:
+            lfb = core.lfb
+            snap[f"core{core.core_id}.alloc"] = lfb.alloc_count
+            snap[f"core{core.core_id}.free"] = lfb.free_count
+            snap[f"core{core.core_id}.occ"] = lfb.in_use
+        iio = host.iio
+        snap["iio.write.alloc"] = iio.write_alloc_count
+        snap["iio.write.release"] = iio.write_release_count
+        snap["iio.write.occ"] = iio.write_occ.value
+        snap["iio.read.alloc"] = iio.read_alloc_count
+        snap["iio.read.release"] = iio.read_release_count
+        snap["iio.read.occ"] = iio.read_occ.value
+
+    def end_window(self, host: "Host") -> int:
+        """Run every probe; returns the cumulative checks-passed count.
+
+        Raises :class:`InvariantViolation` on the first failed
+        identity, naming the component, the identity and the window.
+        """
+        self.check_engine(host)
+        self.check_credit_pools(host)
+        self.check_cha(host)
+        self.check_channels(host)
+        self.check_pcie(host)
+        self.check_littles_law(host)
+        return self.checks_passed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @property
+    def _window(self) -> Tuple[float, float]:
+        return (self._t0, self._now)
+
+    def _require(
+        self,
+        ok: bool,
+        component: str,
+        identity: str,
+        message: str,
+        **details,
+    ) -> None:
+        if not ok:
+            raise InvariantViolation(
+                component, identity, message, window=self._window, details=details
+            )
+        self.checks_passed += 1
+
+    # ------------------------------------------------------------------
+    # Layer probes
+    # ------------------------------------------------------------------
+
+    def check_engine(self, host: "Host") -> None:
+        """Clock sanity and heap health."""
+        sim = host.sim
+        self._now = sim.now
+        self._require(
+            math.isfinite(sim.now),
+            "engine",
+            "clock-finite",
+            f"simulation clock is not finite: {sim.now}",
+        )
+        self._require(
+            sim.now >= self._t0,
+            "engine",
+            "clock-monotonicity",
+            f"clock moved backwards across the window: {sim.now} < {self._t0}",
+        )
+        self._require(
+            sim.events_processed >= 0,
+            "engine",
+            "event-count",
+            f"negative events_processed {sim.events_processed}",
+        )
+        verify_heap(sim)
+        self.checks_passed += 1
+
+    def _check_pool(
+        self,
+        component: str,
+        value: int,
+        capacity: int,
+        allocs: int,
+        frees: int,
+        occ_start: float,
+    ) -> None:
+        self._require(
+            0 <= value <= capacity,
+            component,
+            "occupancy-bounds",
+            f"occupancy {value} outside [0, {capacity}]",
+        )
+        drift = value - occ_start
+        self._require(
+            allocs - frees == drift,
+            component,
+            "credit-conservation",
+            "credits freed != credits acquired net of occupancy drift",
+            acquired=allocs,
+            freed=frees,
+            occupancy_drift=drift,
+        )
+
+    def check_credit_pools(self, host: "Host") -> None:
+        """LFB and IIO pools: bounds + per-window credit conservation."""
+        self._now = host.sim.now
+        snap = self._snapshot
+        for core in host.cores:
+            lfb = core.lfb
+            key = f"core{core.core_id}"
+            self._check_pool(
+                f"{key}.lfb",
+                lfb.in_use,
+                lfb.size,
+                lfb.alloc_count - int(snap.get(f"{key}.alloc", 0)),
+                lfb.free_count - int(snap.get(f"{key}.free", 0)),
+                snap.get(f"{key}.occ", 0),
+            )
+        iio = host.iio
+        self._check_pool(
+            "iio.write",
+            iio.write_occ.value,
+            iio.write_entries,
+            iio.write_alloc_count - int(snap.get("iio.write.alloc", 0)),
+            iio.write_release_count - int(snap.get("iio.write.release", 0)),
+            snap.get("iio.write.occ", 0),
+        )
+        self._check_pool(
+            "iio.read",
+            iio.read_occ.value,
+            iio.read_entries,
+            iio.read_alloc_count - int(snap.get("iio.read.alloc", 0)),
+            iio.read_release_count - int(snap.get("iio.read.release", 0)),
+            snap.get("iio.read.occ", 0),
+        )
+
+    def check_cha(self, host: "Host") -> None:
+        """CHA ingress / stage / backlog accounting."""
+        self._now = host.sim.now
+        cha = host.cha
+        self._require(
+            cha.ingress_occ.value == cha.admission_queue_len,
+            "cha.ingress",
+            "occupancy-accounting",
+            "ingress occupancy counter disagrees with the FCFS queue",
+            counter=cha.ingress_occ.value,
+            queue=cha.admission_queue_len,
+        )
+        self._require(
+            cha.read_stage.value >= 0,
+            "cha.read_stage",
+            "occupancy-bounds",
+            f"negative read-stage occupancy {cha.read_stage.value}",
+        )
+        self._require(
+            cha.write_waiting.value >= 0,
+            "cha.write_stage",
+            "occupancy-bounds",
+            f"negative write-stage occupancy {cha.write_waiting.value}",
+        )
+        self._require(
+            cha.read_stage.value >= cha.read_backlog_len,
+            "cha.read_stage",
+            "backlog-accounting",
+            "more backlogged reads than read-stage entries",
+            stage=cha.read_stage.value,
+            backlog=cha.read_backlog_len,
+        )
+        self._require(
+            cha.write_waiting.value >= cha.write_backlog_len,
+            "cha.write_stage",
+            "backlog-accounting",
+            "more backlogged writes than write-stage entries",
+            stage=cha.write_waiting.value,
+            backlog=cha.write_backlog_len,
+        )
+
+    def check_channels(self, host: "Host") -> None:
+        """Per-channel RPQ/WPQ capacity and bank-FIFO reconciliation."""
+        self._now = host.sim.now
+        for channel in host.mc.channels:
+            name = f"mc.ch{channel.channel_id}"
+            self._require(
+                0 <= channel.rpq_count <= channel.rpq_size,
+                f"{name}.rpq",
+                "occupancy-bounds",
+                f"RPQ count {channel.rpq_count} outside [0, {channel.rpq_size}]",
+            )
+            self._require(
+                0 <= channel.wpq_count <= channel.wpq_size,
+                f"{name}.wpq",
+                "occupancy-bounds",
+                f"WPQ count {channel.wpq_count} outside [0, {channel.wpq_size}]",
+            )
+            self._require(
+                channel.rpq_reserved >= 0 and channel.wpq_reserved >= 0,
+                name,
+                "reservation-bounds",
+                "negative in-transit reservation count",
+                rpq_reserved=channel.rpq_reserved,
+                wpq_reserved=channel.wpq_reserved,
+            )
+            self._require(
+                channel.rpq_count + channel.rpq_reserved <= channel.rpq_size
+                and channel.wpq_count + channel.wpq_reserved <= channel.wpq_size,
+                name,
+                "admission-capacity",
+                "admitted + reserved exceeds queue capacity",
+                rpq=(channel.rpq_count, channel.rpq_reserved, channel.rpq_size),
+                wpq=(channel.wpq_count, channel.wpq_reserved, channel.wpq_size),
+            )
+            self._require(
+                channel.rpq_occ.value == channel.rpq_count
+                and channel.wpq_occ.value == channel.wpq_count,
+                name,
+                "occupancy-accounting",
+                "occupancy counters disagree with scheduler counts",
+                rpq=(channel.rpq_occ.value, channel.rpq_count),
+                wpq=(channel.wpq_occ.value, channel.wpq_count),
+            )
+            bank_reads, bank_writes = channel.queued_in_banks()
+            in_flight_reads = channel.rpq_count - bank_reads
+            in_flight_writes = channel.wpq_count - bank_writes
+            # At most one request has been popped for transmit but not
+            # yet completed (the channel serializes transmissions).
+            self._require(
+                in_flight_reads >= 0
+                and in_flight_writes >= 0
+                and in_flight_reads + in_flight_writes <= 1,
+                name,
+                "bank-fifo-accounting",
+                "bank FIFO contents do not reconcile with queue counts",
+                rpq=(channel.rpq_count, bank_reads),
+                wpq=(channel.wpq_count, bank_writes),
+            )
+
+    def check_pcie(self, host: "Host") -> None:
+        """PCIe link byte accounting and serialization cursors."""
+        self._now = host.sim.now
+        link = host.link
+        self._require(
+            link.bytes_upstream >= 0 and link.bytes_downstream >= 0,
+            "pcie.link",
+            "byte-accounting",
+            "negative transferred-bytes counter",
+            upstream=link.bytes_upstream,
+            downstream=link.bytes_downstream,
+        )
+        self._require(
+            math.isfinite(link.upstream_next_free())
+            and math.isfinite(link.downstream_next_free()),
+            "pcie.link",
+            "serialization-cursor",
+            "non-finite link serialization cursor",
+        )
+
+    # ------------------------------------------------------------------
+    # Statistical identities (§4.2)
+    # ------------------------------------------------------------------
+
+    def _check_littles_law_pool(
+        self,
+        component: str,
+        avg_occupancy: float,
+        capacity: float,
+        count: int,
+        direct_latency: float,
+        elapsed: float,
+    ) -> None:
+        """``L = O / R`` agreement plus the ``T <= C * 64 / L`` bound.
+
+        ``count`` completions over ``elapsed`` define the rate R; the
+        direct latency comes from per-request timestamps the real
+        hardware cannot observe. The throughput bound is checked in
+        its rate form ``R * L <= C`` (multiply both sides of
+        ``T <= C * 64 / L`` by ``L / 64``).
+        """
+        if count < self.min_samples or elapsed <= 0 or direct_latency <= 0:
+            return
+        rate = count / elapsed
+        estimate = littles_law_latency(avg_occupancy, rate)
+        error = abs(estimate - direct_latency) / direct_latency
+        self._require(
+            error <= self.tolerance,
+            component,
+            "littles-law",
+            "occupancy-derived latency disagrees with direct timestamps",
+            littles_law_ns=round(estimate, 3),
+            direct_ns=round(direct_latency, 3),
+            relative_error=round(error, 4),
+            tolerance=self.tolerance,
+        )
+        self._require(
+            rate * direct_latency <= capacity * (1.0 + self.tolerance),
+            component,
+            "throughput-bound",
+            "throughput exceeds the credit bound T <= C * 64 / L",
+            implied_occupancy=round(rate * direct_latency, 3),
+            capacity=capacity,
+        )
+
+    def check_littles_law(self, host: "Host") -> None:
+        """Cross-check occupancy counters against direct timestamps."""
+        now = host.sim.now
+        self._now = now
+        elapsed = now - self._t0
+        hub = host.hub
+
+        # LFB, per traffic class. The lfb.total stat covers loads and
+        # RFO stores but not non-temporal stores (which bypass the
+        # read path), so only check classes whose completion count
+        # matches the stat's sample count — otherwise the occupancy
+        # integral covers a larger population than the timestamps.
+        by_class: Dict[str, Dict[str, float]] = {}
+        for core in host.cores:
+            tc = core.workload.traffic_class
+            slot = by_class.setdefault(
+                tc, {"occ": 0.0, "capacity": 0.0, "completions": 0}
+            )
+            slot["occ"] += core.lfb.average_occupancy(now)
+            slot["capacity"] += core.lfb.size
+            slot["completions"] += core.reads_completed + core.stores_completed
+        for tc, slot in by_class.items():
+            stat = hub._latencies.get(f"lfb.total.{tc}")
+            if stat is None or stat.count != slot["completions"]:
+                continue
+            self._check_littles_law_pool(
+                f"lfb.{tc}",
+                slot["occ"],
+                slot["capacity"],
+                stat.count,
+                stat.average,
+                elapsed,
+            )
+
+        # IIO pools: every release records a domain latency, so the
+        # populations match by construction; pool stats aggregate over
+        # traffic classes.
+        iio = host.iio
+        for pool, occ, capacity, prefix in (
+            ("iio.write", iio.write_occ, iio.write_entries, "domain.p2m_write."),
+            ("iio.read", iio.read_occ, iio.read_entries, "domain.p2m_read."),
+        ):
+            total = 0.0
+            count = 0
+            for name, stat in hub._latencies.items():
+                if name.startswith(prefix):
+                    total += stat.total
+                    count += stat.count
+            if count == 0:
+                continue
+            self._check_littles_law_pool(
+                pool,
+                occ.average(now),
+                capacity,
+                count,
+                total / count,
+                elapsed,
+            )

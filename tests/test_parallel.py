@@ -1,8 +1,11 @@
 """Parallel sweep executor: determinism parity, fallback, errors."""
 
+import functools
+
 import pytest
 
-from repro.experiments.parallel import default_jobs, run_calls
+from repro.experiments import runcache
+from repro.experiments.parallel import _annotate, _describe, default_jobs, run_calls
 from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
 
 # Short windows: parity cares about equality, not fidelity.
@@ -23,6 +26,13 @@ def _square(x):
 
 def _boom(x):
     raise ValueError(f"boom {x}")
+
+
+class _Adder:
+    """Module-level callable instance (picklable, no __name__)."""
+
+    def __call__(self, x):
+        return x + 1
 
 
 class TestRunCalls:
@@ -52,6 +62,85 @@ class TestRunCalls:
         first = run_calls([(_square, (7,), {})], jobs=1)
         second = run_calls([(_square, (7,), {})], jobs=1)
         assert first == second == [49]
+
+    def test_failed_batch_persists_completed_siblings(self):
+        """A failing task must not discard siblings that finished:
+        their results land in the run cache before the error
+        propagates, so a rerun only recomputes the failing task."""
+        with pytest.raises(ValueError, match="boom"):
+            run_calls([(_square, (3,), {}), (_boom, (1,), {})], jobs=2)
+        hit, value = runcache.get(runcache.key_for(_square, (3,), {}))
+        assert hit and value == 9
+
+    def test_failed_serial_batch_persists_completed_siblings(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_calls([(_square, (4,), {}), (_boom, (1,), {})], jobs=1)
+        hit, value = runcache.get(runcache.key_for(_square, (4,), {}))
+        assert hit and value == 16
+
+    def test_task_exception_is_annotated_with_task(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_calls([(_square, (1,), {}), (_boom, (2,), {})], jobs=2)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("_boom(2)" in note for note in notes)
+
+    def test_serial_exception_is_annotated_with_task(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_calls([(_boom, (5,), {})], jobs=1)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("serial task _boom(5)" in note for note in notes)
+
+    def test_callable_instances_run(self):
+        assert run_calls([(_Adder(), (4,), {})], jobs=1) == [5]
+
+
+class TestDescribe:
+    def test_plain_function(self):
+        assert _describe((_square, (3,), {})) == "_square(3)"
+
+    def test_kwargs_rendered(self):
+        assert _describe((_square, (), {"x": 2})) == "_square(x=2)"
+
+    def test_partial_has_structural_name(self):
+        text = _describe((functools.partial(_square, 3), (), {}))
+        assert "functools.partial(_square)" in text
+        # No memory addresses: the pre-fix fallback embedded the full
+        # repr of the callable (`functools.partial(<function ...0x...>)`).
+        assert "0x" not in text
+
+    def test_callable_instance_has_type_name(self):
+        text = _describe((_Adder(), (4,), {}))
+        assert text.startswith("_Adder(")
+        assert "0x" not in text
+
+    def test_bound_method_names_owner(self):
+        experiment = quadrant_experiment(QUADRANTS[1])
+        text = _describe((experiment.run_c2m_isolated, (1, 1.0, 2.0), {}))
+        assert text.startswith("ColocationExperiment.run_c2m_isolated(")
+
+    def test_long_call_is_truncated(self):
+        text = _describe((_square, ("y" * 500,), {}))
+        assert len(text) <= 200
+        assert text.endswith("...")
+
+
+class TestAnnotate:
+    def test_annotate_appends_note(self):
+        exc = ValueError("x")
+        _annotate(exc, "first")
+        _annotate(exc, "second")
+        assert list(exc.__notes__) == ["first", "second"]
+
+    def test_annotate_without_add_note_sets_notes(self):
+        """The 3.10 fallback: no usable add_note, so __notes__ is set
+        directly (3.11+ tracebacks render it identically)."""
+
+        class LegacyError(Exception):
+            add_note = None  # simulate a pre-3.11 interpreter
+
+        exc = LegacyError("x")
+        _annotate(exc, "context")
+        assert exc.__notes__ == ["context"]
 
 
 class TestDefaultJobs:

@@ -238,3 +238,49 @@ def test_now_is_finite_after_windows():
     sim.schedule(1.0, lambda: None)
     sim.run_until(50.0)
     assert math.isfinite(sim.now)
+
+
+def test_run_until_backwards_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(10.0)
+    with pytest.raises(ValueError):
+        sim.run_until(5.0)
+    # The failed call must not have rewound the clock.
+    assert sim.now == 10.0
+
+
+def test_run_until_rejects_nan_boundary():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run_until(float("nan"))
+
+
+def test_run_until_same_time_is_noop():
+    sim = Simulator()
+    sim.run_until(10.0)
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+
+
+def test_run_max_events_exact_with_cancelled_residue():
+    """Exactly max_events live events plus trailing cancelled entries
+    must not trip the runaway guard: lazily-deleted events are not
+    pending work."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    for _ in range(3):
+        sim.schedule_cancellable(100.0, fired.append, "never").cancel()
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.pending == 0
+
+
+def test_run_max_events_still_raises_with_live_remainder():
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda: None)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=5)

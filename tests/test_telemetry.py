@@ -153,6 +153,17 @@ class TestLittlesLaw:
         with pytest.raises(ValueError):
             littles_law_occupancy(-1.0, 0.1)
 
+    def test_negative_occupancy_raises(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            littles_law_latency(-0.5, 0.1)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError, match="rate"):
+            littles_law_latency(1.0, -0.1)
+
+    def test_zero_occupancy_zero_latency(self):
+        assert littles_law_latency(0.0, 0.25) == 0.0
+
 
 class TestBankLoadSampler:
     def test_uniform_load_has_deviation_one(self):
