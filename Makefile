@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke check py310-check
+.PHONY: test bench bench-smoke check chaos py310-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -18,10 +18,18 @@ bench-smoke:
 py310-check:
 	$(PYTHON) tools/py310_check.py
 
+# Chaos tier: the fast-scale fig03 sweep under deterministically
+# injected worker kills, transient exceptions and cache corruption
+# must stay float-identical to a fault-free run, with every recovered
+# TaskFailure reported (tools/chaos_check.py). REPRO_BENCH_SCALE=smoke
+# shrinks it for quick local iteration.
+chaos:
+	$(PYTHON) tools/chaos_check.py
+
 # PR smoke gate: tier-1 tests plus smoke-scale benches, exercising the
 # parallel sweep path (REPRO_JOBS=2) against a cold cache — once plain
 # and once with runtime invariant checking (REPRO_VALIDATE=1), which
-# must pass with zero violations.
+# must pass with zero violations — and the chaos tier.
 check: py310-check
 	$(PYTHON) -m pytest -x -q tests/
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
@@ -29,3 +37,4 @@ check: py310-check
 	REPRO_VALIDATE=1 REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 \
 		REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+	$(PYTHON) tools/chaos_check.py

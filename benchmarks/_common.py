@@ -73,12 +73,26 @@ def run_once(benchmark, fn):
     """
     from repro.experiments import runcache
     from repro.experiments.parallel import default_jobs
+    from repro.experiments.reporting import render_failures
+    from repro.experiments.supervisor import stats
     from repro.validate import enabled as validate_enabled
 
     benchmark.extra_info["jobs"] = default_jobs()
     benchmark.extra_info["cache"] = "on" if runcache.enabled() else "off"
     benchmark.extra_info["validate"] = "on" if validate_enabled() else "off"
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info["chaos"] = os.environ.get("REPRO_CHAOS", "") or "off"
+    before = stats.snapshot()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    delta = stats.delta(before)
+    # Fault-tolerance accounting: a sweep that needed retries/requeues
+    # is not timing-comparable to a clean one, so record it.
+    for counter in ("retries", "requeues", "pool_failures", "timeouts", "recovered"):
+        benchmark.extra_info[counter] = delta[counter]
+    recovered = stats.recovered_failures[before["recovered"]:]
+    if recovered:
+        print()
+        print(render_failures(recovered, title="Recovered task failures"))
+    return result
 
 
 def publish(data: FigureData) -> str:

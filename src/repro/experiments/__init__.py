@@ -10,9 +10,22 @@ from repro.experiments.runner import (
     workload_ops_metric,
 )
 from repro.experiments.quadrants import QUADRANTS, QuadrantSpec, run_quadrant
-from repro.experiments.reporting import render_series, render_table
+from repro.experiments.reporting import render_failures, render_series, render_table
+from repro.experiments.supervisor import (
+    BatchResult,
+    SupervisorConfig,
+    SweepError,
+    TaskFailure,
+    run_supervised,
+)
 
 __all__ = [
+    "BatchResult",
+    "SupervisorConfig",
+    "SweepError",
+    "TaskFailure",
+    "run_supervised",
+    "render_failures",
     "ColocationExperiment",
     "ColocationPoint",
     "c2m_bandwidth_metric",

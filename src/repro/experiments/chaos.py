@@ -1,0 +1,173 @@
+"""Deterministic fault injection for the sweep supervisor.
+
+Fleet-scale measurement campaigns only trust their orchestration layer
+if the failure machinery is exercised routinely, not just when the
+cluster misbehaves. This module injects the faults the supervisor
+(:mod:`repro.experiments.supervisor`) must survive:
+
+* **kill** — the worker process exits hard (``os._exit``) mid-task,
+  breaking the process pool exactly like an OOM kill;
+* **hang** — the task sleeps past ``REPRO_TASK_TIMEOUT`` so the
+  supervisor has to tear the pool down and requeue;
+* **exc** — the task raises a transient :class:`ChaosError` that a
+  retry recovers from;
+* **corrupt** — a freshly written run-cache entry is truncated on
+  disk, exercising the checksum/quarantine path in
+  :mod:`repro.experiments.runcache`.
+
+Injection is **deterministic**: every decision is a pure hash of
+``(seed, fault kind, task identity, attempt number)``, so a chaotic
+run is exactly reproducible and — because faults fire only on early
+attempts (``attempts`` in the spec, default: attempt 0 only) — a
+sufficiently retried sweep always converges to the fault-free,
+float-identical result.
+
+Enable with ``REPRO_CHAOS=<spec>``, a comma-separated ``key=value``
+list, e.g.::
+
+    REPRO_CHAOS="kill=0.1,exc=0.3,corrupt=0.25,seed=7"
+
+Keys: ``kill``/``hang``/``exc``/``corrupt`` (probabilities in [0, 1]),
+``seed`` (int), ``hang_s`` (hang duration, default 30 s) and
+``attempts`` (inject on attempt numbers below this, default 1).
+Kills and hangs fire only inside pool workers — in-process (serial)
+execution injects only transient exceptions, so chaos can never take
+down the orchestrating process itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+#: exit status used for injected worker kills (visible in pool logs)
+KILL_EXIT_CODE = 73
+
+_FLOAT_KEYS = ("kill", "hang", "exc", "corrupt", "hang_s")
+_INT_KEYS = ("seed", "attempts")
+
+
+class ChaosError(RuntimeError):
+    """A deterministically injected transient task failure."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` spec (all injection probabilities)."""
+
+    kill: float = 0.0
+    hang: float = 0.0
+    exc: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    hang_s: float = 30.0
+    attempts: int = 1
+
+
+def parse(spec: str) -> Optional[ChaosConfig]:
+    """Parse a ``REPRO_CHAOS`` spec; ``None`` when disabled."""
+    spec = spec.strip()
+    if not spec or spec.lower() in ("off", "0", "no", "false"):
+        return None
+    values: Dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"REPRO_CHAOS entries must be key=value, got {part!r}"
+            )
+        key, raw = (s.strip() for s in part.split("=", 1))
+        try:
+            if key in _FLOAT_KEYS:
+                values[key] = float(raw)
+            elif key in _INT_KEYS:
+                values[key] = int(raw)
+            else:
+                raise ValueError(
+                    f"unknown REPRO_CHAOS key {key!r} "
+                    f"(expected one of {sorted(_FLOAT_KEYS + _INT_KEYS)})"
+                )
+        except ValueError as exc:
+            if "unknown REPRO_CHAOS" in str(exc):
+                raise
+            raise ValueError(
+                f"REPRO_CHAOS {key} must be numeric, got {raw!r}"
+            ) from exc
+    for key in ("kill", "hang", "exc", "corrupt"):
+        p = values.get(key, 0.0)
+        if not 0.0 <= float(p) <= 1.0:  # type: ignore[arg-type]
+            raise ValueError(f"REPRO_CHAOS {key} must be in [0, 1], got {p}")
+    return ChaosConfig(**values)  # type: ignore[arg-type]
+
+
+_parse_cache: Dict[str, Optional[ChaosConfig]] = {}
+
+
+def config() -> Optional[ChaosConfig]:
+    """The active chaos configuration, or ``None`` when off."""
+    spec = os.environ.get("REPRO_CHAOS", "")
+    if spec not in _parse_cache:
+        _parse_cache[spec] = parse(spec)
+    return _parse_cache[spec]
+
+
+def enabled() -> bool:
+    return config() is not None
+
+
+def roll(cfg: ChaosConfig, kind: str, identity: str, attempt: int) -> bool:
+    """Deterministic injection decision for one (fault, task, attempt)."""
+    prob = getattr(cfg, kind)
+    if prob <= 0.0:
+        return False
+    digest = hashlib.sha256(
+        f"{cfg.seed}|{kind}|{identity}|{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64 < prob
+
+
+def maybe_inject(identity: str, attempt: int, in_worker: bool) -> None:
+    """Fault-injection hook run at the start of every task attempt.
+
+    ``identity`` is the task's stable digest (same across processes and
+    resumed sweeps) and ``attempt`` its zero-based attempt number, so
+    the injected fault schedule is a pure function of the sweep.
+    Kills and hangs are worker-only: they must never take down the
+    supervising process.
+    """
+    cfg = config()
+    if cfg is None or attempt >= cfg.attempts:
+        return
+    if in_worker and roll(cfg, "kill", identity, attempt):
+        os._exit(KILL_EXIT_CODE)
+    if in_worker and roll(cfg, "hang", identity, attempt):
+        time.sleep(cfg.hang_s)
+    if roll(cfg, "exc", identity, attempt):
+        raise ChaosError(
+            f"injected transient fault (task {identity[:12]}, "
+            f"attempt {attempt})"
+        )
+
+
+def maybe_corrupt_cache(path: Path, key: str) -> None:
+    """Truncate a just-written run-cache entry (checksum-path chaos).
+
+    Keyed on the cache key alone (not the attempt) so a corrupted key
+    stays corrupted for the whole chaotic session: every read of it
+    exercises quarantine + recompute and the sweep's floats are still
+    exact because the recompute is deterministic.
+    """
+    cfg = config()
+    if cfg is None or not roll(cfg, "corrupt", key, 0):
+        return
+    try:
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    except OSError:  # pragma: no cover - cache dir vanished mid-run
+        pass

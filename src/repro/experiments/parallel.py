@@ -8,32 +8,39 @@ each run builds its own :class:`~repro.topology.host.Host` from an
 explicit seed, so a run computes the identical :class:`RunResult`
 whether it executes in this process or a worker.
 
-Control knobs and behaviour:
+Execution is supervised by :mod:`repro.experiments.supervisor`, which
+adds per-task timeouts, bounded retries with deterministic backoff,
+crash isolation and journal-based resume — all off or conservative by
+default. Control knobs and behaviour:
 
-* ``REPRO_JOBS=N`` sets the worker count (default: the machine's CPU
-  count). ``REPRO_JOBS=1`` forces serial in-process execution.
+* ``REPRO_JOBS=N`` sets the worker count (default: the CPUs actually
+  available to this process — container/cgroup affinity, not the
+  machine's raw core count). ``REPRO_JOBS=1`` forces serial in-process
+  execution.
 * Calls that cannot be pickled (closures, ad-hoc lambdas) gracefully
   fall back to serial execution for the whole batch.
 * Results are memoized through :mod:`repro.experiments.runcache`
   (disable with ``REPRO_CACHE=off``), so runs shared between figures
   — e.g. the C2M-isolated run appearing in Figs. 3, 7, 11 and 12 —
   execute once per code version.
-* A worker crash (OOM-killed process, interpreter abort) surfaces as
-  a ``RuntimeError`` naming the task and suggesting ``REPRO_JOBS=1``;
-  an ordinary exception inside a task propagates unchanged, annotated
-  with the task that raised it.
+* ``REPRO_TASK_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` /
+  ``REPRO_JOURNAL_DIR`` configure fault tolerance, and ``REPRO_CHAOS``
+  injects deterministic faults; see the supervisor module and
+  ``DESIGN.md`` §7.
+* An unrecovered worker crash surfaces as a
+  :class:`~repro.experiments.supervisor.SweepError` naming the task
+  and suggesting ``REPRO_JOBS=1``; an unrecovered ordinary exception
+  inside a task propagates unchanged, annotated with the task that
+  raised it. Either way the batch is driven to a terminal state first
+  — in serial mode too — so completed sibling results are persisted
+  before the error propagates.
 """
 
 from __future__ import annotations
 
 import functools
 import os
-import pickle
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
-
-from repro.experiments import runcache
 
 #: a unit of work: (callable, positional args, keyword args)
 Call = Tuple[Callable[..., Any], tuple, dict]
@@ -49,13 +56,27 @@ def _mark_worker() -> None:
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` or the machine's CPU count."""
+    """Worker count: ``REPRO_JOBS``, else the CPUs available to us.
+
+    Containers and batch schedulers routinely pin a process to a CPU
+    subset; ``os.sched_getaffinity`` reflects that mask while
+    ``os.cpu_count`` reports the whole machine, so prefer the former
+    where the platform provides it.
+    """
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
             return max(1, int(env))
         except ValueError as exc:
             raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from exc
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            n = len(affinity(0))
+            if n > 0:
+                return n
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
     return os.cpu_count() or 1
 
 
@@ -109,11 +130,6 @@ def _annotate(exc: BaseException, note: str) -> None:
         pass
 
 
-def _run_payload(payload: bytes) -> Any:
-    fn, args, kwargs = pickle.loads(payload)
-    return fn(*args, **kwargs)
-
-
 def run_calls(
     calls: Sequence[Call],
     jobs: Optional[int] = None,
@@ -122,78 +138,18 @@ def run_calls(
     """Execute independent calls, fanning out over processes.
 
     Returns results in input order. Cached results are returned
-    without executing; the remainder run in a process pool when
-    ``jobs > 1``, every call pickles, and we are not already inside a
-    worker — otherwise serially in-process.
+    without executing; the remainder run under the fault-tolerant
+    supervisor (:func:`repro.experiments.supervisor.run_supervised`) —
+    in a process pool when ``jobs > 1``, every call pickles and we are
+    not already inside a worker, serially in-process otherwise. Use
+    :func:`run_supervised` directly for the structured
+    :class:`~repro.experiments.supervisor.BatchResult` (recovered
+    :class:`~repro.experiments.supervisor.TaskFailure` records,
+    cache/journal hit counts).
     """
-    calls = [(fn, tuple(args), dict(kwargs)) for fn, args, kwargs in calls]
-    results: dict = {}
-    keys: List[Optional[str]] = [None] * len(calls)
-    if cache:
-        for i, (fn, args, kwargs) in enumerate(calls):
-            keys[i] = runcache.key_for(fn, args, kwargs)
-            hit, value = runcache.get(keys[i])
-            if hit:
-                results[i] = value
-    missing = [i for i in range(len(calls)) if i not in results]
+    from repro.experiments.supervisor import run_supervised
 
-    n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    payloads: dict = {}
-    parallel = n_jobs > 1 and not _IN_WORKER and len(missing) > 1
-    if parallel:
-        try:
-            for i in missing:
-                payloads[i] = pickle.dumps(calls[i], protocol=4)
-        except Exception:
-            parallel = False  # unpicklable builder: serial fallback
-
-    first_error: Optional[Tuple[int, BaseException]] = None
-    crash: Optional[Tuple[int, BaseException]] = None
-    if parallel:
-        workers = min(n_jobs, len(missing))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_mark_worker
-        ) as pool:
-            futures = {i: pool.submit(_run_payload, payloads[i]) for i in missing}
-            wait(list(futures.values()), return_when=FIRST_EXCEPTION)
-            for i, future in futures.items():
-                try:
-                    results[i] = future.result()
-                except BrokenProcessPool as exc:
-                    crash = (i, exc)
-                    break
-                except Exception as exc:
-                    if first_error is None:
-                        first_error = (i, exc)
-    else:
-        for i in missing:
-            fn, args, kwargs = calls[i]
-            try:
-                results[i] = fn(*args, **kwargs)
-            except Exception as exc:
-                first_error = (i, exc)
-                break
-
-    # Persist completed siblings even when the batch failed: their
-    # results are final, so a rerun after fixing the failing task
-    # should not recompute them.
-    for i in missing:
-        if i in results:
-            runcache.put(keys[i], results[i])
-
-    if crash is not None:
-        i, exc = crash
-        raise RuntimeError(
-            f"parallel worker crashed while running "
-            f"{_describe(calls[i])}; rerun with REPRO_JOBS=1 "
-            f"to execute serially"
-        ) from exc
-    if first_error is not None:
-        i, exc = first_error
-        mode = "parallel" if parallel else "serial"
-        _annotate(exc, f"raised in {mode} task {_describe(calls[i])}")
-        raise exc
-    return [results[i] for i in range(len(calls))]
+    return run_supervised(calls, jobs=jobs, cache=cache).results
 
 
 def run_one(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:

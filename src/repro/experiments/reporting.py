@@ -2,7 +2,10 @@
 
 Every benchmark prints the rows/series its figure reports using these
 helpers, so the console output can be compared line-by-line with the
-paper's plots.
+paper's plots. Supervised sweeps additionally report their
+:class:`~repro.experiments.supervisor.TaskFailure` records through
+:func:`render_failures`, so a recovered fault is part of the batch
+report rather than only a raised exception.
 """
 
 from __future__ import annotations
@@ -36,6 +39,33 @@ def render_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     lines.append(rule)
     return "\n".join(lines)
+
+
+def render_failures(failures: Sequence, title: str = "Task failures") -> str:
+    """Render supervised-sweep :class:`TaskFailure` records as a table.
+
+    One row per failed-at-least-once task: batch position, what ran,
+    the final failure kind, how many attempts it took, total wall
+    time, a stable traceback digest, and whether the task recovered.
+    """
+    columns = ["#", "task", "kind", "attempts", "elapsed_s", "digest", "recovered"]
+    rows = []
+    for failure in failures:
+        task = failure.task
+        if len(task) > 64:
+            task = task[:61] + "..."
+        rows.append(
+            [
+                failure.index,
+                task,
+                failure.kind,
+                failure.attempts,
+                failure.elapsed_s,
+                failure.traceback_digest,
+                "yes" if failure.recovered else "NO",
+            ]
+        )
+    return render_table(title, columns, rows)
 
 
 def render_series(title: str, x_label: str, series: Dict[str, Sequence[float]],

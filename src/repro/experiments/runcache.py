@@ -13,6 +13,13 @@ cached on disk keyed by
 * a fingerprint of the ``repro`` package source, so any code change
   invalidates the whole cache.
 
+Entries are stored as ``magic + sha256(payload) + payload`` and
+verified on every read: an unreadable, truncated or bit-flipped entry
+is moved to a ``quarantine/`` subdirectory with a one-line warning
+(instead of silently treated as a miss and deleted), so corruption is
+visible and the evidence survives for inspection while the run is
+transparently recomputed.
+
 Environment knobs:
 
 * ``REPRO_CACHE=off`` (or ``0``/``no``/``false``) disables the cache;
@@ -26,11 +33,16 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
 _MISS = object()
 _code_fingerprint: Optional[str] = None
+
+#: entry format marker; bump when the on-disk layout changes
+_MAGIC = b"RRC1"
+_DIGEST_BYTES = 32
 
 
 def enabled() -> bool:
@@ -93,8 +105,60 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
     return digest.hexdigest()
 
 
+def encode_blob(value: Any) -> bytes:
+    """Serialize a value with an integrity header (magic + sha256).
+
+    Shared with the sweep journal
+    (:class:`repro.experiments.supervisor.Journal`) so every persisted
+    result — cache entry or checkpoint — is checksummed the same way.
+    Raises if the value cannot be pickled.
+    """
+    payload = pickle.dumps(value, protocol=4)
+    return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def decode_blob(blob: bytes) -> Tuple[bool, Any]:
+    """Verify and deserialize an :func:`encode_blob` blob.
+
+    Returns ``(ok, value)``; any header, checksum or unpickling
+    problem is ``(False, None)`` — never an exception.
+    """
+    header = len(_MAGIC) + _DIGEST_BYTES
+    if len(blob) < header or not blob.startswith(_MAGIC):
+        return False, None
+    digest = blob[len(_MAGIC) : header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        return False, None
+    try:
+        return True, pickle.loads(payload)
+    except Exception:
+        return False, None
+
+
 def _path_for(key: str) -> Path:
     return cache_dir() / key[:2] / f"{key}.pkl"
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad entry aside (or drop it) and say so, once, out loud."""
+    quarantine_dir = cache_dir() / "quarantine"
+    where = "deleted"
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, quarantine_dir / path.name)
+        where = f"moved to {quarantine_dir}"
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    warnings.warn(
+        f"run-cache entry {path.name} is {reason}; {where}, "
+        f"the run will be recomputed",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def get(key: Optional[str]) -> Tuple[bool, Any]:
@@ -103,26 +167,26 @@ def get(key: Optional[str]) -> Tuple[bool, Any]:
         return False, None
     path = _path_for(key)
     try:
-        with open(path, "rb") as fh:
-            return True, pickle.load(fh)
+        blob = path.read_bytes()
     except FileNotFoundError:
         return False, None
-    except Exception:
-        # A torn or stale entry is a miss; drop it so it gets rebuilt.
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    except OSError:
+        _quarantine(path, "unreadable")
         return False, None
+    ok, value = decode_blob(blob)
+    if ok:
+        return True, value
+    _quarantine(path, "corrupt (checksum or format mismatch)")
+    return False, None
 
 
 def put(key: Optional[str], value: Any) -> None:
-    """Store a value under a key (atomic, best-effort)."""
+    """Store a value under a key (atomic, checksummed, best-effort)."""
     if key is None:
         return
     path = _path_for(key)
     try:
-        payload = pickle.dumps(value, protocol=4)
+        blob = encode_blob(value)
     except Exception:
         return
     try:
@@ -130,7 +194,7 @@ def put(key: Optional[str], value: Any) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -140,7 +204,10 @@ def put(key: Optional[str], value: Any) -> None:
             raise
     except OSError:
         # A read-only or full cache directory never fails the run.
-        pass
+        return
+    from repro.experiments import chaos
+
+    chaos.maybe_corrupt_cache(path, key)
 
 
 def cached_call(fn: Any, *args: Any, **kwargs: Any) -> Any:

@@ -13,8 +13,11 @@ rather than the simulated system.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import tempfile
 from dataclasses import fields
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: RunResult fields describing the execution, not the simulated system.
 DIAGNOSTIC_FIELDS = frozenset({"sim_wall_s", "events_per_sec", "invariant_checks"})
@@ -85,6 +88,79 @@ def differential_point(
             "validated differential run reported no invariant checks"
         )
     return modes
+
+
+@contextlib.contextmanager
+def _environment(**overrides: Optional[str]) -> Iterator[None]:
+    """Temporarily set/unset environment variables (None removes)."""
+    saved = {name: os.environ.get(name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def chaos_differential_point(
+    experiment: Any,
+    n_cores: int,
+    warmup: float,
+    measure: float,
+    jobs: int = 2,
+    chaos: str = "kill=0.3,exc=1,seed=11",
+    retries: int = 3,
+    task_timeout: float = 0.0,
+) -> Tuple[List[Any], List[Any], List[Any]]:
+    """Fault-injected runs must still produce float-identical results.
+
+    Runs one colocation point fault-free, then again under
+    deterministic ``REPRO_CHAOS`` injection with retries enabled —
+    each against its own throwaway cache directory so every fault
+    actually fires instead of being absorbed by a warm cache — and
+    demands the two sweeps agree float-for-float. Returns
+    ``(baseline_points, chaotic_points, recovered_failures)``; the
+    default spec injects a transient exception into *every* task
+    (``exc=1``), so the recovered-failure list is never empty.
+    """
+    from repro.experiments.supervisor import stats
+
+    with tempfile.TemporaryDirectory() as baseline_dir:
+        with _environment(REPRO_CHAOS=None, REPRO_CACHE_DIR=baseline_dir,
+                          REPRO_CACHE="on"):
+            baseline = experiment.sweep([n_cores], warmup, measure, jobs=1)
+    n_recovered = len(stats.recovered_failures)
+    with tempfile.TemporaryDirectory() as chaotic_dir:
+        with _environment(
+            REPRO_CHAOS=chaos,
+            REPRO_CACHE_DIR=chaotic_dir,
+            REPRO_CACHE="on",
+            REPRO_RETRIES=str(retries),
+            REPRO_TASK_TIMEOUT=str(task_timeout) if task_timeout else None,
+            REPRO_BACKOFF="0.01",
+        ):
+            chaotic = experiment.sweep([n_cores], warmup, measure, jobs=jobs)
+    recovered = stats.recovered_failures[n_recovered:]
+    for base_point, chaos_point in zip(baseline, chaotic):
+        for attr in ("c2m_isolated_run", "p2m_isolated_run", "colocated"):
+            assert_results_identical(
+                getattr(base_point, attr),
+                getattr(chaos_point, attr),
+                context=f"fault-free vs chaotic: {attr}",
+            )
+    if not recovered:
+        raise AssertionError(
+            "chaotic differential run recovered no injected faults "
+            f"(spec {chaos!r} never fired)"
+        )
+    return baseline, chaotic, recovered
 
 
 def _with_validate(experiment: Any) -> Any:

@@ -1,0 +1,161 @@
+"""Chaos harness: deterministic injection, and sweeps surviving it."""
+
+import os
+
+import pytest
+
+from repro.experiments import chaos, runcache
+from repro.experiments.chaos import ChaosConfig, ChaosError
+from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
+from repro.experiments.supervisor import SupervisorConfig, run_supervised
+from repro.validate.harness import chaos_differential_point
+
+# Short windows: fault-tolerance parity cares about equality, not fidelity.
+WARMUP = 1_000.0
+MEASURE = 3_000.0
+
+
+@pytest.fixture(autouse=True)
+def isolated_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    for name in (
+        "REPRO_CACHE",
+        "REPRO_JOBS",
+        "REPRO_RETRIES",
+        "REPRO_BACKOFF",
+        "REPRO_TASK_TIMEOUT",
+        "REPRO_JOURNAL_DIR",
+        "REPRO_CHAOS",
+    ):
+        monkeypatch.delenv(name, raising=False)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSpecParsing:
+    def test_unset_or_off_disables(self):
+        assert chaos.parse("") is None
+        assert chaos.parse("off") is None
+        assert chaos.parse("0") is None
+        assert chaos.config() is None
+        assert not chaos.enabled()
+
+    def test_full_spec_parses(self):
+        cfg = chaos.parse("kill=0.1,hang=0.2,exc=0.3,corrupt=0.4,seed=7,hang_s=5,attempts=2")
+        assert cfg == ChaosConfig(
+            kill=0.1, hang=0.2, exc=0.3, corrupt=0.4, seed=7, hang_s=5.0, attempts=2
+        )
+
+    def test_env_is_cached_by_spec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "exc=1,seed=2")
+        assert chaos.config() == ChaosConfig(exc=1.0, seed=2)
+        monkeypatch.setenv("REPRO_CHAOS", "exc=0.5,seed=2")
+        assert chaos.config() == ChaosConfig(exc=0.5, seed=2)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["kill", "kill=maybe", "frobnicate=1", "exc=1.5", "kill=-0.1"],
+    )
+    def test_garbage_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            chaos.parse(spec)
+
+
+class TestRolls:
+    def test_roll_is_deterministic(self):
+        cfg = ChaosConfig(exc=0.5, seed=3)
+        decisions = [chaos.roll(cfg, "exc", f"task{i}", 0) for i in range(64)]
+        assert decisions == [chaos.roll(cfg, "exc", f"task{i}", 0) for i in range(64)]
+        # A fair-ish coin over 64 identities lands on both sides.
+        assert True in decisions and False in decisions
+
+    def test_roll_depends_on_seed_and_attempt(self):
+        a = ChaosConfig(exc=0.5, seed=1)
+        b = ChaosConfig(exc=0.5, seed=2)
+        ids = [f"task{i}" for i in range(64)]
+        assert [chaos.roll(a, "exc", t, 0) for t in ids] != [
+            chaos.roll(b, "exc", t, 0) for t in ids
+        ]
+        assert [chaos.roll(a, "exc", t, 0) for t in ids] != [
+            chaos.roll(a, "exc", t, 1) for t in ids
+        ]
+
+    def test_zero_probability_never_fires(self):
+        cfg = ChaosConfig(seed=3)
+        assert not any(chaos.roll(cfg, "kill", f"t{i}", 0) for i in range(64))
+
+
+class TestInjection:
+    def test_exc_injection_raises_transient_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "exc=1,seed=3")
+        with pytest.raises(ChaosError, match="injected transient fault"):
+            chaos.maybe_inject("task", 0, in_worker=False)
+
+    def test_injection_only_on_early_attempts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "exc=1,seed=3")
+        chaos.maybe_inject("task", 1, in_worker=False)  # no raise
+
+    def test_kill_and_hang_never_fire_in_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "kill=1,hang=1,hang_s=60,seed=3")
+        chaos.maybe_inject("task", 0, in_worker=False)  # would exit/hang
+
+    def test_corrupt_truncates_cache_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt=1,seed=3")
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"x" * 100)
+        chaos.maybe_corrupt_cache(path, "somekey")
+        assert path.stat().st_size == 50
+
+
+class TestCacheCorruptionEndToEnd:
+    def test_corrupted_put_is_quarantined_and_recomputed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt=1,seed=3")
+        key = runcache.key_for(_square, (6,), {})
+        runcache.put(key, 36)  # chaos truncates the entry on disk
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            hit, _ = runcache.get(key)
+        assert not hit
+        quarantined = list((runcache.cache_dir() / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        # The supervised path recomputes transparently.
+        batch = run_supervised([(_square, (6,), {})], jobs=1)
+        assert batch.results == [36]
+
+
+class TestChaoticSweeps:
+    """End-to-end: injected faults never change sweep results."""
+
+    def test_chaotic_batch_matches_fault_free(self, monkeypatch):
+        clean = run_supervised(
+            [(_square, (i,), {}) for i in range(6)], jobs=2, cache=False
+        )
+        monkeypatch.setenv("REPRO_CHAOS", "kill=0.4,exc=0.5,seed=5")
+        chaotic = run_supervised(
+            [(_square, (i,), {}) for i in range(6)],
+            jobs=2,
+            cache=False,
+            config=SupervisorConfig(retries=3, backoff_s=0.01, pool_failure_limit=50),
+        )
+        assert chaotic.results == clean.results
+        assert chaotic.failures  # exc=0.5 over 6 tasks: some fault fired
+
+    def test_quadrant_sweep_float_identical_under_chaos(self):
+        """The differential harness: one colocation point fault-free vs
+        under kills + transient exceptions — float-identical, with the
+        injected faults recovered and reported."""
+        experiment = quadrant_experiment(QUADRANTS[1])
+        baseline, chaotic, recovered = chaos_differential_point(
+            experiment,
+            n_cores=1,
+            warmup=WARMUP,
+            measure=MEASURE,
+            jobs=2,
+            chaos="kill=0.3,exc=1,seed=11",
+            retries=3,
+        )
+        assert len(baseline) == len(chaotic) == 1
+        assert recovered  # exc=1 guarantees at least one recovery
+        assert all(f.recovered for f in recovered)
+        assert all(f.attempts >= 2 for f in recovered)

@@ -1,6 +1,7 @@
 """Parallel sweep executor: determinism parity, fallback, errors."""
 
 import functools
+import os
 
 import pytest
 
@@ -77,6 +78,20 @@ class TestRunCalls:
             run_calls([(_square, (4,), {}), (_boom, (1,), {})], jobs=1)
         hit, value = runcache.get(runcache.key_for(_square, (4,), {}))
         assert hit and value == 16
+
+    def test_serial_batch_continues_past_failure_like_parallel(self):
+        """Serial/parallel semantics parity (regression): the serial
+        path used to stop at the first error while the parallel path
+        kept collecting sibling results. Both now drive the whole
+        batch to completion, persist finished siblings, then raise."""
+        with pytest.raises(ValueError, match="boom"):
+            run_calls(
+                [(_square, (6,), {}), (_boom, (1,), {}), (_square, (8,), {})],
+                jobs=1,
+            )
+        # The sibling submitted *after* the failing task still ran.
+        hit, value = runcache.get(runcache.key_for(_square, (8,), {}))
+        assert hit and value == 64
 
     def test_task_exception_is_annotated_with_task(self):
         with pytest.raises(ValueError) as excinfo:
@@ -156,6 +171,24 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "many")
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             default_jobs()
+
+    def test_respects_cpu_affinity(self, monkeypatch):
+        """Containers pin processes to CPU subsets: the scheduler mask,
+        not the machine's raw core count, bounds useful workers."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5},
+                            raising=False)
+        assert default_jobs() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert default_jobs() == 7
+
+    def test_env_wins_over_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                            raising=False)
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert default_jobs() == 5
 
 
 class TestSweepParity:

@@ -78,12 +78,61 @@ class TestRoundTrip:
         runcache.put(key, {"value": 3})
         path = runcache._path_for(key)
         path.write_bytes(b"not a pickle")
-        hit, _ = runcache.get(key)
+        with pytest.warns(RuntimeWarning):
+            hit, _ = runcache.get(key)
         assert not hit
         assert not path.exists()
 
     def test_entries_land_under_cache_dir(self, isolated_cache):
         runcache.cached_call(_expensive, 3, y=2)
-        entries = list(isolated_cache.rglob("*.pkl"))
+        entries = [
+            p for p in isolated_cache.rglob("*.pkl")
+            if "quarantine" not in p.parts
+        ]
         assert len(entries) == 1
-        assert pickle.loads(entries[0].read_bytes()) == {"value": 6}
+        ok, value = runcache.decode_blob(entries[0].read_bytes())
+        assert ok and value == {"value": 6}
+
+
+class TestIntegrity:
+    def test_blob_round_trip(self):
+        blob = runcache.encode_blob({"value": 6})
+        assert runcache.decode_blob(blob) == (True, {"value": 6})
+
+    def test_decode_rejects_bad_magic_and_checksum(self):
+        blob = runcache.encode_blob([1, 2, 3])
+        assert runcache.decode_blob(b"XXXX" + blob[4:]) == (False, None)
+        flipped = bytearray(blob)
+        flipped[-1] ^= 0xFF
+        assert runcache.decode_blob(bytes(flipped)) == (False, None)
+        assert runcache.decode_blob(b"") == (False, None)
+        assert runcache.decode_blob(blob[:10]) == (False, None)
+
+    def test_truncated_entry_is_quarantined_and_recomputed(self, isolated_cache):
+        """Bit rot / torn writes: the checksum catches the damage, the
+        evidence moves to quarantine/ (not silently deleted), and the
+        run is recomputed and re-cached."""
+        runcache.cached_call(_expensive, 3, y=2)
+        key = runcache.key_for(_expensive, (3,), {"y": 2})
+        path = runcache._path_for(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            value = runcache.cached_call(_expensive, 3, y=2)
+        assert value == {"value": 6}
+        assert CALLS == [(3, 2), (3, 2)]  # recomputed exactly once
+        quarantined = list((isolated_cache / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [path.name]
+        # The recompute re-populated the cache with a healthy entry.
+        hit, value = runcache.get(key)
+        assert hit and value == {"value": 6}
+
+    def test_legacy_unchecksummed_entry_is_quarantined(self, isolated_cache):
+        key = runcache.key_for(_expensive, (4,), {})
+        path = runcache._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"value": 4}))  # pre-RRC1 format
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            hit, _ = runcache.get(key)
+        assert not hit
+        assert (isolated_cache / "quarantine" / path.name).exists()
