@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke check chaos py310-check
+.PHONY: test bench bench-smoke bench-fast perf-check check chaos py310-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -11,6 +11,21 @@ bench:
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 $(PYTHON) -m pytest -q benchmarks/ --benchmark-only
+
+# Engine microbenchmarks only (seconds, not minutes); raw results land
+# in the gitignored benchmarks/out/ so ad-hoc runs never pollute the
+# tree. Refresh benchmarks/BENCH_engine.json from the JSON this writes
+# (workflow: benchmarks/README.md).
+bench-fast:
+	mkdir -p benchmarks/out
+	$(PYTHON) -m pytest -q benchmarks/bench_engine.py --benchmark-only \
+		--benchmark-json=benchmarks/out/bench_engine.json \
+		| tee benchmarks/out/bench_engine.txt
+
+# Events/sec gate against the committed baseline (+/-25%;
+# REPRO_PERF_CHECK=off skips, REPRO_PERF_TOL widens).
+perf-check:
+	$(PYTHON) tools/perf_check.py
 
 # Python-version-floor gate (requires-python = ">=3.10"): 3.11+-API
 # lint, plus byte-compile + validated smoke under a real 3.10 when one
@@ -29,9 +44,11 @@ chaos:
 # PR smoke gate: tier-1 tests plus smoke-scale benches, exercising the
 # parallel sweep path (REPRO_JOBS=2) against a cold cache — once plain
 # and once with runtime invariant checking (REPRO_VALIDATE=1), which
-# must pass with zero violations — and the chaos tier.
+# must pass with zero violations — the engine perf gate, and the
+# chaos tier.
 check: py310-check
 	$(PYTHON) -m pytest -x -q tests/
+	$(PYTHON) tools/perf_check.py
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
 	REPRO_VALIDATE=1 REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 \

@@ -12,13 +12,19 @@ domain latencies — exactly the property the paper exploits in §4.2.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 from repro.cpu.lfb import LineFillBuffer
 from repro.cpu.workloads import OP_NT_STORE, MemoryWorkload
 from repro.dram.controller import MemoryController
 from repro.sim.engine import Simulator
-from repro.sim.records import Request, RequestKind, RequestSource
+from repro.sim.records import (
+    Request,
+    RequestKind,
+    RequestSource,
+    acquire_request,
+    release_request,
+)
 from repro.telemetry.counters import CounterHub
 
 
@@ -36,6 +42,7 @@ class Core:
         lfb_size: int = 12,
         t_core_to_cha: float = 10.0,
         t_data_return: float = 33.0,
+        burst: int = 1,
     ):
         self._sim = sim
         self._hub = hub
@@ -48,6 +55,20 @@ class Core:
         )
         self.t_core_to_cha = t_core_to_cha
         self.t_data_return = t_data_return
+        # Macro-event burst factor (REPRO_BURST): operations per
+        # macro-request. Clamped to the LFB so a burst can allocate.
+        self.burst = max(1, min(burst, lfb_size))
+        #: lookahead buffer for burst mode: an op fetched from the
+        #: workload that could not join the current macro-request
+        #: because its kind differs (already counted by ``on_issue``).
+        self._pending_op: Optional[Tuple[int, int]] = None
+        # A workload's traffic class is fixed at construction, so the
+        # per-request domain stats can be bound once here instead of
+        # rebuilding the f-string key on every completion.
+        tc = workload.traffic_class
+        self._lat_read = hub.latency(f"domain.c2m_read.{tc}")
+        self._lat_write = hub.latency(f"domain.c2m_write.{tc}")
+        self._lat_lfb = hub.latency(f"lfb.total.{tc}")
         #: minimum spacing between issued operations (ns); 0 disables.
         #: Models Intel MBA-style memory-bandwidth throttling, the knob
         #: hostCC [2] actuates (used by repro.ext.hostcc).
@@ -71,6 +92,9 @@ class Core:
     # ------------------------------------------------------------------
 
     def _try_issue(self) -> None:
+        if self.burst > 1:
+            self._try_issue_burst()
+            return
         now = self._sim.now
         while self.lfb.has_free_entry:
             if self.throttle_gap_ns > 0 and now < self._next_issue_allowed:
@@ -88,6 +112,61 @@ class Core:
                 self._issue_nt_store(addr, now)
             else:
                 self._issue(addr, bool(op), now)
+
+    def _try_issue_burst(self) -> None:
+        """Burst-mode issue loop: gather up to ``burst`` consecutive
+        same-kind operations into one macro-request (one LFB burst
+        allocation, one trip through the memory system)."""
+        now = self._sim.now
+        workload = self.workload
+        lfb = self.lfb
+        while True:
+            free = lfb.size - lfb.in_use
+            if free <= 0:
+                return  # completions re-enter via _try_issue
+            if self.throttle_gap_ns > 0 and now < self._next_issue_allowed:
+                self._arm_wake_at(self._next_issue_allowed)
+                return
+            nxt = self._pending_op
+            if nxt is not None:
+                self._pending_op = None
+            else:
+                nxt = workload.try_next(now)
+                if nxt is None:
+                    self._arm_wake()
+                    return
+                workload.on_issue(now)
+            addr, op = nxt
+            cap = self.burst if self.burst < free else free
+            # Split the gathered lines by home memory channel:
+            # consecutive lines interleave across channels, so a
+            # single-channel macro-request would collapse the channel
+            # parallelism the per-line simulation exploits.
+            mapper = self._mc.mapper
+            groups: dict = {}
+            groups.setdefault(mapper.map(addr).channel, []).append(addr)
+            n = 1
+            while n < cap:
+                follow = workload.try_next(now)
+                if follow is None:
+                    break
+                workload.on_issue(now)
+                if follow[1] != op:
+                    # Kind switch: the fetched op starts the next
+                    # macro-request rather than joining this one.
+                    self._pending_op = follow
+                    break
+                groups.setdefault(mapper.map(follow[0]).channel, []).append(
+                    follow[0]
+                )
+                n += 1
+            if self.throttle_gap_ns > 0:
+                self._next_issue_allowed = now + self.throttle_gap_ns * n
+            for group in groups.values():
+                if op == OP_NT_STORE:
+                    self._issue_nt_store(group[0], now, len(group))
+                else:
+                    self._issue(group[0], bool(op), now, len(group))
 
     def _arm_wake(self) -> None:
         wake = self.workload.wake_time(self._sim.now)
@@ -108,8 +187,8 @@ class Core:
         self._wake_event = None
         self._try_issue()
 
-    def _issue(self, addr: int, is_store: bool, now: float) -> None:
-        req = Request(
+    def _issue(self, addr: int, is_store: bool, now: float, n: int = 1) -> None:
+        req = acquire_request(
             RequestSource.C2M,
             RequestKind.READ,
             addr,
@@ -118,16 +197,17 @@ class Core:
         )
         req.t_alloc = now
         req.tag = is_store
-        self.lfb.alloc(now)
+        req.lines = n
+        self.lfb.alloc(now, n)
         self._mc.assign(req)
         req.on_complete = self._on_read_serviced
         self._sim.schedule(self.t_core_to_cha, self._cha_admission, req)
 
-    def _issue_nt_store(self, addr: int, now: float) -> None:
+    def _issue_nt_store(self, addr: int, now: float, n: int = 1) -> None:
         """Non-temporal (fast-string) store: no RFO read; the line goes
         straight down the write path, holding its fill/write-combining
         buffer entry until CHA admission (the C2M-Write domain)."""
-        wb = Request(
+        wb = acquire_request(
             RequestSource.C2M,
             RequestKind.WRITE,
             addr,
@@ -135,19 +215,26 @@ class Core:
             traffic_class=self.workload.traffic_class,
         )
         wb.t_alloc = now
-        self.lfb.alloc(now)
+        wb.lines = n
+        self.lfb.alloc(now, n)
         self._mc.assign(wb)
         wb.on_cha_admit = self._on_nt_store_admitted
         self._sim.schedule(self.t_core_to_cha, self._cha_admission, wb)
 
     def _on_nt_store_admitted(self, wb: Request) -> None:
         now = self._sim.now
-        tc = wb.traffic_class
-        self._hub.latency(f"domain.c2m_write.{tc}").record(now - wb.t_alloc)
+        lines = wb.lines
+        self._lat_write.record(now - wb.t_alloc, lines)
         wb.t_free = now
-        self.lfb.free(now)
-        self.stores_completed += 1
-        self.workload.on_complete(now, was_store=True)
+        self.lfb.free(now, lines)
+        self.stores_completed += lines
+        if lines == 1:
+            self.workload.on_complete(now, was_store=True)
+        else:
+            for _ in range(lines):
+                self.workload.on_complete(now, was_store=True)
+        # ``wb`` continues down the write path (WPQ or LLC absorption)
+        # and is released there.
         self._try_issue()
 
     # ------------------------------------------------------------------
@@ -161,20 +248,26 @@ class Core:
 
     def _on_data(self, req: Request) -> None:
         now = self._sim.now
-        tc = req.traffic_class
-        self._hub.latency(f"domain.c2m_read.{tc}").record(now - req.t_alloc)
+        lines = req.lines
+        self._lat_read.record(now - req.t_alloc, lines)
         if req.tag:  # store: the RFO completed, hand off the writeback
             self._begin_writeback(req, now)
             return
         req.t_free = now
-        self.lfb.free(now)
-        self.reads_completed += 1
-        self._hub.latency(f"lfb.total.{tc}").record(now - req.t_alloc)
-        self.workload.on_complete(now, was_store=False)
+        self.lfb.free(now, lines)
+        self.reads_completed += lines
+        self._lat_lfb.record(now - req.t_alloc, lines)
+        if lines == 1:
+            self.workload.on_complete(now, was_store=False)
+        else:
+            for _ in range(lines):
+                self.workload.on_complete(now, was_store=False)
+        # Last stop of a load's lifecycle: no component references it.
+        release_request(req)
         self._try_issue()
 
     def _begin_writeback(self, read_req: Request, now: float) -> None:
-        wb = Request(
+        wb = acquire_request(
             RequestSource.C2M,
             RequestKind.WRITE,
             read_req.line_addr,
@@ -183,6 +276,7 @@ class Core:
         )
         wb.t_alloc = now
         wb.tag = read_req
+        wb.lines = read_req.lines
         self._mc.assign(wb)
         wb.on_cha_admit = self._on_writeback_admitted
         self._sim.schedule(self.t_core_to_cha, self._cha_admission, wb)
@@ -191,14 +285,22 @@ class Core:
         """CHA admitted the writeback: the C2M-Write domain ends here
         (writes are asynchronous past the CHA, §3)."""
         now = self._sim.now
-        tc = wb.traffic_class
+        lines = wb.lines
         read_req: Request = wb.tag
-        self._hub.latency(f"domain.c2m_write.{tc}").record(now - wb.t_alloc)
-        self._hub.latency(f"lfb.total.{tc}").record(now - read_req.t_alloc)
+        self._lat_write.record(now - wb.t_alloc, lines)
+        self._lat_lfb.record(now - read_req.t_alloc, lines)
         read_req.t_free = now
-        self.lfb.free(now)
-        self.stores_completed += 1
-        self.workload.on_complete(now, was_store=True)
+        self.lfb.free(now, lines)
+        self.stores_completed += lines
+        if lines == 1:
+            self.workload.on_complete(now, was_store=True)
+        else:
+            for _ in range(lines):
+                self.workload.on_complete(now, was_store=True)
+        # The RFO read's lifecycle ends here; the writeback itself
+        # continues (WPQ or LLC absorption) and is released there.
+        wb.tag = None
+        release_request(read_req)
         self._try_issue()
 
     # ------------------------------------------------------------------

@@ -21,6 +21,9 @@ class LineFillBuffer:
             raise ValueError("LFB size must be positive")
         self.size = size
         self._occ = occupancy
+        # Prebound: alloc/free run once per cacheline, so skip the
+        # attribute walk to the counter's update method.
+        self._occ_update = occupancy.update
         #: lifetime credit-event counts, consumed by the credit
         #: conservation check of :mod:`repro.validate` (credits freed
         #: must equal credits acquired, net of occupancy drift).
@@ -37,17 +40,21 @@ class LineFillBuffer:
         """Whether a new miss can allocate an entry."""
         return self._occ.value < self.size
 
-    def alloc(self, now: float) -> None:
-        """Consume one credit (entry allocated on an L1 miss)."""
-        if not self.has_free_entry:
-            raise RuntimeError("LFB allocation without a free entry")
-        self.alloc_count += 1
-        self._occ.update(now, +1)
+    def has_room(self, n: int) -> bool:
+        """Whether ``n`` entries can be allocated at once (burst mode)."""
+        return self._occ.value + n <= self.size
 
-    def free(self, now: float) -> None:
-        """Replenish one credit (the miss fully resolved)."""
-        self.free_count += 1
-        self._occ.update(now, -1)
+    def alloc(self, now: float, n: int = 1) -> None:
+        """Consume ``n`` credits (entries allocated on L1 misses)."""
+        if self._occ.value + n > self.size:
+            raise RuntimeError("LFB allocation without a free entry")
+        self.alloc_count += n
+        self._occ_update(now, n)
+
+    def free(self, now: float, n: int = 1) -> None:
+        """Replenish ``n`` credits (the misses fully resolved)."""
+        self.free_count += n
+        self._occ_update(now, -n)
 
     def average_occupancy(self, now: float) -> float:
         """Time-averaged entries in use over the current window."""

@@ -27,7 +27,13 @@ from repro.dram.address import AddressMapper
 from repro.dram.bank import Bank
 from repro.dram.timing import DramTiming
 from repro.sim.engine import Simulator
-from repro.sim.records import CACHELINE_BYTES, Request, RequestKind, RequestSource
+from repro.sim.records import (
+    CACHELINE_BYTES,
+    Request,
+    RequestKind,
+    RequestSource,
+    release_request,
+)
 from repro.telemetry.bankstats import BankLoadSampler
 from repro.telemetry.counters import CounterHub
 
@@ -129,13 +135,13 @@ class Channel:
     # Admission (called by the CHA)
     # ------------------------------------------------------------------
 
-    def can_accept_read(self) -> bool:
-        """Whether the RPQ has a slot (counting in-flight reservations)."""
-        return self._rpq_count + self._rpq_reserved < self.rpq_size
+    def can_accept_read(self, n: int = 1) -> bool:
+        """Whether the RPQ has ``n`` slots (counting reservations)."""
+        return self._rpq_count + self._rpq_reserved + n <= self.rpq_size
 
-    def can_accept_write(self) -> bool:
-        """Whether the WPQ has a slot (counting in-flight reservations)."""
-        return self._wpq_count + self._wpq_reserved < self.wpq_size
+    def can_accept_write(self, n: int = 1) -> bool:
+        """Whether the WPQ has ``n`` slots (counting reservations)."""
+        return self._wpq_count + self._wpq_reserved + n <= self.wpq_size
 
     def _track_wpq_full(self) -> None:
         """Accumulate the time the WPQ is effectively full (occupancy
@@ -159,25 +165,26 @@ class Channel:
             return 0.0
         return total / elapsed
 
-    def reserve_read(self) -> None:
-        """Claim an RPQ slot for a read in transit from the CHA."""
-        if not self.can_accept_read():
+    def reserve_read(self, n: int = 1) -> None:
+        """Claim ``n`` RPQ slots for a read in transit from the CHA."""
+        if not self.can_accept_read(n):
             raise RuntimeError("read reservation without RPQ space")
-        self._rpq_reserved += 1
+        self._rpq_reserved += n
 
-    def reserve_write(self) -> None:
-        """Claim a WPQ slot for a write in transit from the CHA."""
-        if not self.can_accept_write():
+    def reserve_write(self, n: int = 1) -> None:
+        """Claim ``n`` WPQ slots for a write in transit from the CHA."""
+        if not self.can_accept_write(n):
             raise RuntimeError("write reservation without WPQ space")
-        self._wpq_reserved += 1
+        self._wpq_reserved += n
         self._track_wpq_full()
 
     def enqueue_read(self, req: Request) -> None:
         """Admit a read into the RPQ (reservation made earlier)."""
         now = self._sim.now
-        self._rpq_reserved -= 1
-        self._rpq_count += 1
-        self.rpq_occ.update(now, +1)
+        lines = req.lines
+        self._rpq_reserved -= lines
+        self._rpq_count += lines
+        self.rpq_occ.update(now, lines)
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
         req.t_queue_admit = now
@@ -188,9 +195,10 @@ class Channel:
         """Admit a write into the WPQ; the write is now *complete* from
         the requester's point of view (writes are asynchronous, §3)."""
         now = self._sim.now
-        self._wpq_reserved -= 1
-        self._wpq_count += 1
-        self.wpq_occ.update(now, +1)
+        lines = req.lines
+        self._wpq_reserved -= lines
+        self._wpq_count += lines
+        self.wpq_occ.update(now, lines)
         self._track_wpq_full()
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
@@ -205,9 +213,20 @@ class Channel:
     # ------------------------------------------------------------------
 
     def count_row_outcome(self, req: Request) -> None:
-        """Record a request's first row-buffer outcome, per class."""
+        """Record a request's first row-buffer outcome, per class.
+
+        A macro-request (burst mode) opens its row once; the remaining
+        ``lines - 1`` cachelines stream from the open row, which is
+        what the per-line simulation of a sequential burst would record
+        as row hits.
+        """
+        stats = self.stats
         key = (req.traffic_class, req.kind.value, req.row_outcome)
-        self.stats.class_row_outcomes[key] += 1
+        stats.class_row_outcomes[key] += 1
+        if req.lines > 1:
+            stats.class_row_outcomes[
+                (req.traffic_class, req.kind.value, "hit")
+            ] += req.lines - 1
 
     def count_prep_ops(self, req: Request, conflict: bool) -> None:
         """Count an ACT (and PRE on conflict) for the formula inputs."""
@@ -344,7 +363,9 @@ class Channel:
     def _transmit(self, req: Request) -> None:
         now = self._sim.now
         timing = self.timing
-        self._busy_until = now + timing.t_trans
+        lines = req.lines
+        t_burst = timing.t_trans if lines == 1 else timing.t_trans * lines
+        self._busy_until = now + t_burst
         bank = self.banks[req.bank_id]
         if req.row_outcome is None:
             # Served with its row already open and no PRE/ACT of its
@@ -353,24 +374,26 @@ class Channel:
             req.row_outcome = "hit"
             self.count_row_outcome(req)
         bank.pop_head(req)
+        stats = self.stats
         if req.kind is RequestKind.READ:
-            self.stats.lines_read += 1
-            self.stats.class_lines_read[req.traffic_class] += 1
-            self.stats.busy_read_time += timing.t_trans
+            stats.lines_read += lines
+            stats.class_lines_read[req.traffic_class] += lines
+            stats.busy_read_time += t_burst
             self.bank_sampler.record(req.bank_id)
         else:
-            self.stats.lines_written += 1
-            self.stats.class_lines_written[req.traffic_class] += 1
-            self.stats.busy_write_time += timing.t_trans
-        self._served_in_mode += 1
-        self._sim.schedule(timing.t_trans, self._on_transmit_done, req, bank)
+            stats.lines_written += lines
+            stats.class_lines_written[req.traffic_class] += lines
+            stats.busy_write_time += t_burst
+        self._served_in_mode += lines
+        self._sim.schedule(t_burst, self._on_transmit_done, req, bank)
 
     def _on_transmit_done(self, req: Request, bank: Bank) -> None:
         now = self._sim.now
         req.t_service = now
+        lines = req.lines
         if req.kind is RequestKind.READ:
-            self._rpq_count -= 1
-            self.rpq_occ.update(now, -1)
+            self._rpq_count -= lines
+            self.rpq_occ.update(now, -lines)
             if req.on_serviced is not None:
                 req.on_serviced(req)
             if req.on_complete is not None:
@@ -378,11 +401,15 @@ class Channel:
             if self.on_rpq_space is not None:
                 self.on_rpq_space(self.channel_id)
         else:
-            self._wpq_count -= 1
-            self.wpq_occ.update(now, -1)
+            self._wpq_count -= lines
+            self.wpq_occ.update(now, -lines)
             self._track_wpq_full()
             if self.on_wpq_space is not None:
                 self.on_wpq_space(self.channel_id)
+            # A write's lifecycle ends here: its completion fired at
+            # WPQ admission, the bank queue dropped it at transmit,
+            # and nothing downstream keeps a reference.
+            release_request(req)
         bank.maybe_start_prep()
         self._schedule_pump(now)
 
@@ -411,16 +438,17 @@ class Channel:
         return self._wpq_reserved
 
     def queued_in_banks(self) -> tuple:
-        """``(reads, writes)`` sitting in per-bank queues right now.
+        """``(read_lines, write_lines)`` sitting in per-bank queues.
 
         Every admitted request lives in exactly one bank queue until
         its transmit completes, so these must reconcile with
         ``rpq_count``/``wpq_count`` net of the single request whose
         transmit is in flight — the queue-accounting identity checked
-        by :mod:`repro.validate`.
+        by :mod:`repro.validate`. Counted in cachelines so burst-mode
+        macro-requests reconcile with the lines-weighted queue counts.
         """
-        reads = sum(len(bank.read_q) for bank in self.banks)
-        writes = sum(len(bank.write_q) for bank in self.banks)
+        reads = sum(req.lines for bank in self.banks for req in bank.read_q)
+        writes = sum(req.lines for bank in self.banks for req in bank.write_q)
         return reads, writes
 
     def reset_stats(self, now: float) -> None:

@@ -92,6 +92,7 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
         spec = pickle.dumps((fn, args, sorted((kwargs or {}).items())), protocol=4)
     except Exception:
         return None
+    from repro.sim.records import burst_factor
     from repro.validate.invariants import enabled as validate_enabled
 
     digest = hashlib.sha256()
@@ -101,6 +102,10 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
     # REPRO_VALIDATE=1 suite must actually execute its checks rather
     # than replay an unvalidated cache. Keep the namespaces separate.
     digest.update(b"validate=1" if validate_enabled() else b"validate=0")
+    # Burst (macro-event) runs are approximations of the per-line
+    # simulation: results at different REPRO_BURST factors must never
+    # replay each other's cache entries.
+    digest.update(f"burst={burst_factor()}".encode())
     digest.update(spec)
     return digest.hexdigest()
 

@@ -22,7 +22,14 @@ from repro.dram.controller import MemoryController
 from repro.dram.region import Region
 from repro.pcie.link import PcieLink
 from repro.sim.engine import Simulator
-from repro.sim.records import CACHELINE_BYTES, Request, RequestKind, RequestSource
+from repro.sim.records import (
+    CACHELINE_BYTES,
+    Request,
+    RequestKind,
+    RequestSource,
+    acquire_request,
+    release_request,
+)
 from repro.telemetry.counters import CounterHub
 from repro.uncore.iio import IIO
 
@@ -103,6 +110,7 @@ class DmaDevice:
         device_rate: Optional[float] = None,
         t_host_return: float = 55.0,
         traffic_class: str = "p2m",
+        burst: int = 1,
     ):
         self._sim = sim
         self._hub = hub
@@ -113,6 +121,11 @@ class DmaDevice:
         self.device_rate = device_rate
         self.t_host_return = t_host_return
         self.traffic_class = traffic_class
+        # Macro-event burst factor (REPRO_BURST): lines per DMA
+        # macro-request. Clamped so a burst can always obtain credits.
+        self.burst = max(
+            1, min(burst, iio.write_entries, iio.read_entries)
+        )
         self._next_write_slot = 0.0
         self._next_read_slot = 0.0
         self._pump_event = None
@@ -160,8 +173,9 @@ class DmaDevice:
     def _pump_writes(self) -> float:
         """Send pending DMA writes; returns the next retry time."""
         now = self._sim.now
+        burst = self.burst
         while True:
-            if not self._iio.has_credit(RequestKind.WRITE):
+            if not self._iio.has_credit(RequestKind.WRITE, burst):
                 return float("inf")  # credit waiter re-pumps
             start = max(now, self._next_write_slot, self._link.upstream_next_free())
             if start > now:
@@ -170,23 +184,45 @@ class DmaDevice:
             if addr is None:
                 wake = self.workload.wake_time(now)
                 return wake if wake is not None else float("inf")
-            req = Request(
-                RequestSource.P2M,
-                RequestKind.WRITE,
-                addr,
-                traffic_class=self.traffic_class,
-            )
-            self._iio.alloc(req)
-            self._mc.assign(req)
-            req.on_complete = self._on_write_posted
-            arrival = self._link.send_upstream(CACHELINE_BYTES)
-            self._next_write_slot = start + self._pace()
-            self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
+            if burst == 1:
+                req = acquire_request(
+                    RequestSource.P2M,
+                    RequestKind.WRITE,
+                    addr,
+                    traffic_class=self.traffic_class,
+                )
+                self._iio.alloc(req)
+                self._mc.assign(req)
+                req.on_complete = self._on_write_posted
+                arrival = self._link.send_upstream(CACHELINE_BYTES)
+                self._next_write_slot = start + self._pace()
+                self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
+                continue
+            total = 0
+            for group in self._gather_burst(addr, self.workload.next_write, now):
+                req = acquire_request(
+                    RequestSource.P2M,
+                    RequestKind.WRITE,
+                    group[0],
+                    traffic_class=self.traffic_class,
+                )
+                lines = len(group)
+                if lines > 1:
+                    req.lines = lines
+                    req.tag = group
+                total += lines
+                self._iio.alloc(req)
+                self._mc.assign(req)
+                req.on_complete = self._on_write_posted
+                arrival = self._link.send_upstream(CACHELINE_BYTES * lines)
+                self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
+            self._next_write_slot = start + self._pace() * total
 
     def _pump_reads(self) -> float:
         now = self._sim.now
+        burst = self.burst
         while True:
-            if not self._iio.has_credit(RequestKind.READ):
+            if not self._iio.has_credit(RequestKind.READ, burst):
                 return float("inf")
             start = max(now, self._next_read_slot)
             if start > now:
@@ -195,29 +231,71 @@ class DmaDevice:
             if addr is None:
                 wake = self.workload.wake_time(now)
                 return wake if wake is not None else float("inf")
-            req = Request(
-                RequestSource.P2M,
-                RequestKind.READ,
-                addr,
-                traffic_class=self.traffic_class,
-            )
-            self._iio.alloc(req)
-            self._mc.assign(req)
-            req.on_complete = self._on_read_serviced
-            self._next_read_slot = start + self._pace()
-            # Read requests are small TLPs: propagation only.
-            self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
+            if burst == 1:
+                req = acquire_request(
+                    RequestSource.P2M,
+                    RequestKind.READ,
+                    addr,
+                    traffic_class=self.traffic_class,
+                )
+                self._iio.alloc(req)
+                self._mc.assign(req)
+                req.on_complete = self._on_read_serviced
+                self._next_read_slot = start + self._pace()
+                # Read requests are small TLPs: propagation only.
+                self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
+                continue
+            total = 0
+            for group in self._gather_burst(addr, self.workload.next_read, now):
+                req = acquire_request(
+                    RequestSource.P2M,
+                    RequestKind.READ,
+                    group[0],
+                    traffic_class=self.traffic_class,
+                )
+                lines = len(group)
+                if lines > 1:
+                    req.lines = lines
+                    req.tag = group
+                total += lines
+                self._iio.alloc(req)
+                self._mc.assign(req)
+                req.on_complete = self._on_read_serviced
+                self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
+            self._next_read_slot = start + self._pace() * total
+
+    def _gather_burst(self, first: int, next_line, now: float):
+        """Collect up to ``self.burst`` pending lines and split them by
+        home memory channel: consecutive lines interleave across
+        channels, so one single-channel macro-request would collapse
+        the channel parallelism the per-line simulation exploits. One
+        macro-request per channel group preserves it. Partial bursts
+        are fine (the workload ran out of pending lines)."""
+        mapper = self._mc.mapper
+        groups: dict = {}
+        groups.setdefault(mapper.map(first).channel, []).append(first)
+        for _ in range(self.burst - 1):
+            addr = next_line(now)
+            if addr is None:
+                break
+            groups.setdefault(mapper.map(addr).channel, []).append(addr)
+        return groups.values()
 
     # ------------------------------------------------------------------
     # Completions
     # ------------------------------------------------------------------
 
     def _on_write_posted(self, req: Request) -> None:
-        self.writes_posted += 1
+        now = self._sim.now
+        self.writes_posted += req.lines
         # Update workload state before releasing the credit: the release
         # synchronously re-pumps credit waiters, which must observe the
         # post-completion demand (e.g. the next queued IO).
-        self.workload.on_write_posted(req.line_addr, self._sim.now)
+        if req.lines == 1:
+            self.workload.on_write_posted(req.line_addr, now)
+        else:
+            for addr in req.tag:
+                self.workload.on_write_posted(addr, now)
         self._iio.release(req)
 
     def _on_read_serviced(self, req: Request) -> None:
@@ -225,7 +303,9 @@ class DmaDevice:
         self._sim.schedule(self.t_host_return, self._on_read_at_iio, req)
 
     def _on_read_at_iio(self, req: Request) -> None:
-        serialized_at, device_arrival = self._link.send_downstream(CACHELINE_BYTES)
+        serialized_at, device_arrival = self._link.send_downstream(
+            CACHELINE_BYTES * req.lines
+        )
         self._sim.schedule_at(serialized_at, self._finish_read_credit, req)
         self._sim.schedule_at(device_arrival, self._finish_read_data, req)
 
@@ -234,8 +314,16 @@ class DmaDevice:
         self._iio.release(req)
 
     def _finish_read_data(self, req: Request) -> None:
-        self.reads_completed += 1
-        self.workload.on_read_data(req.line_addr, self._sim.now)
+        now = self._sim.now
+        self.reads_completed += req.lines
+        if req.lines == 1:
+            self.workload.on_read_data(req.line_addr, now)
+        else:
+            for addr in req.tag:
+                self.workload.on_read_data(addr, now)
+        # Last stop of a DMA read's lifecycle: the credit was released
+        # at completion issue and no component still references it.
+        release_request(req)
         self._pump()
 
     # ------------------------------------------------------------------

@@ -123,6 +123,7 @@ class NvmeDevice(DmaDevice):
         device_rate: Optional[float] = None,
         t_io_gap: float = 0.0,
         traffic_class: str = "p2m",
+        burst: int = 1,
     ):
         workload = NvmeWorkload(
             region=region,
@@ -140,6 +141,7 @@ class NvmeDevice(DmaDevice):
             workload,
             device_rate=device_rate,
             traffic_class=traffic_class,
+            burst=burst,
         )
 
     @property

@@ -11,9 +11,30 @@ timestamps.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import os
+from typing import List, Optional
 
 CACHELINE_BYTES = 64
+
+
+def burst_factor() -> int:
+    """The configured macro-event burst factor (``REPRO_BURST``).
+
+    1 (the default) means exact per-cacheline simulation; N>1 lets
+    device DMA engines and core issue loops emit one macro-request per
+    N-line burst (see DESIGN.md §5). Invalid values raise so typos
+    don't silently fall back to exact mode.
+    """
+    raw = os.environ.get("REPRO_BURST", "").strip()
+    if not raw:
+        return 1
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_BURST must be a positive integer, got {raw!r}")
+    if n < 1:
+        raise ValueError(f"REPRO_BURST must be >= 1, got {n}")
+    return n
 
 
 class RequestSource(enum.Enum):
@@ -75,6 +96,7 @@ class Request:
         "on_cha_admit",
         "tag",
         "queue_seq",
+        "lines",
     )
 
     def __init__(
@@ -114,6 +136,10 @@ class Request:
         self.tag = None
         # Monotonic admission order within the MC queue (scheduler age).
         self.queue_seq = 0
+        # Cachelines this request stands for: 1 in exact mode, the
+        # burst factor for REPRO_BURST macro-requests. Every counter
+        # and credit update is weighted by it.
+        self.lines = 1
 
     @property
     def is_read(self) -> bool:
@@ -137,3 +163,71 @@ class Request:
             f"Request({self.source.value}-{self.kind.value}, "
             f"line={self.line_addr:#x}, cls={self.traffic_class})"
         )
+
+
+# ----------------------------------------------------------------------
+# Request free-list pool
+#
+# Every cacheline costs a Request allocation; on the hot paths that is
+# a measurable slice of per-event time (object + five None timestamp
+# stores + GC pressure). Endpoints that *retire* a request hand it
+# back via release_request(); issue sites acquire via
+# acquire_request(), which reinitialises every slot a fresh Request
+# would have, so recycling is observationally identical to
+# construction. REPRO_POOL=off disables recycling (diagnostic aid:
+# any behavioural difference with the pool on is a lifetime bug).
+
+_POOL: List[Request] = []
+_POOL_CAP = 4096
+_POOL_ENABLED = os.environ.get("REPRO_POOL", "on").strip().lower() not in (
+    "off",
+    "0",
+)
+
+
+def acquire_request(
+    source: RequestSource,
+    kind: RequestKind,
+    line_addr: int,
+    requester_id: int = 0,
+    traffic_class: Optional[str] = None,
+) -> Request:
+    """A fresh-looking :class:`Request`, recycled when the pool has one."""
+    pool = _POOL
+    if not pool:
+        return Request(source, kind, line_addr, requester_id, traffic_class)
+    req = pool.pop()
+    req.source = source
+    req.kind = kind
+    req.line_addr = line_addr
+    req.requester_id = requester_id
+    req.traffic_class = traffic_class or source.value
+    req.t_alloc = None
+    req.t_cha_admit = None
+    req.t_queue_admit = None
+    req.t_service = None
+    req.t_free = None
+    req.channel_id = -1
+    req.bank_id = -1
+    req.row_id = -1
+    req.row_outcome = None
+    req.queue_seq = 0
+    req.lines = 1
+    # Callbacks and tag were already cleared at release time.
+    return req
+
+
+def release_request(req: Request) -> None:
+    """Retire ``req`` into the free list (caller must hold the last ref).
+
+    Only endpoints that end a request's lifecycle may call this: after
+    release no heap entry, queue, stage set or callback may still
+    reference the object. Callback/tag slots are cleared eagerly so
+    recycled requests never pin issuer state for the GC.
+    """
+    req.on_complete = None
+    req.on_serviced = None
+    req.on_cha_admit = None
+    req.tag = None
+    if _POOL_ENABLED and len(_POOL) < _POOL_CAP:
+        _POOL.append(req)

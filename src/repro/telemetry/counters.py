@@ -53,16 +53,26 @@ class OccupancyCounter:
 
     def update(self, now: float, delta: int) -> None:
         """Apply ``delta`` to the occupancy at time ``now``."""
-        self._accumulate(now)
-        self.value += delta
-        if self.value < 0:
+        # _accumulate is inlined here: this is the hottest telemetry
+        # call in the simulator (every credit alloc/free lands here).
+        value = self.value
+        capacity = self.capacity
+        dt = now - self._last_t
+        if dt > 0:
+            self._integral += value * dt
+            if capacity is not None and value >= capacity:
+                self._full_time += dt
+            self._last_t = now
+        value += delta
+        self.value = value
+        if value < 0:
             raise ValueError("occupancy went negative; accounting bug")
-        if self.capacity is not None and self.value > self.capacity:
+        if capacity is not None and value > capacity:
             raise ValueError(
-                f"occupancy {self.value} exceeds capacity {self.capacity}"
+                f"occupancy {value} exceeds capacity {capacity}"
             )
-        if self.value > self.max_seen:
-            self.max_seen = self.value
+        if value > self.max_seen:
+            self.max_seen = value
 
     def _accumulate(self, now: float) -> None:
         dt = now - self._last_t
@@ -135,12 +145,17 @@ class LatencyStat:
         self.count = 0
         self.max_seen = 0.0
 
-    def record(self, latency: float) -> None:
-        """Accumulate one latency sample."""
+    def record(self, latency: float, n: int = 1) -> None:
+        """Accumulate one latency sample (``n`` identical samples for
+        a burst-mode macro-request standing for ``n`` cachelines)."""
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
-        self.total += latency
-        self.count += 1
+        if n == 1:
+            self.total += latency
+            self.count += 1
+        else:
+            self.total += latency * n
+            self.count += n
         if latency > self.max_seen:
             self.max_seen = latency
 

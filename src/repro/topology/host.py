@@ -24,7 +24,7 @@ from repro.pcie.link import PcieLink
 from repro.pcie.nic import Nic
 from repro.pcie.nvme import NvmeDevice
 from repro.sim.engine import Simulator
-from repro.sim.records import CACHELINE_BYTES, RequestKind
+from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
 from repro.telemetry.counters import CounterHub
 from repro.topology.presets import HostConfig
 from repro.uncore.cha import CHA
@@ -142,8 +142,13 @@ class Host:
         config: HostConfig,
         seed: int = 1,
         validate: Optional[bool] = None,
+        burst: Optional[int] = None,
     ):
         self.config = config
+        #: macro-event burst factor (lines per macro-request); ``None``
+        #: defers to the ``REPRO_BURST`` environment knob. 1 (the
+        #: default) is the exact per-line simulation.
+        self.burst = burst_factor() if burst is None else max(1, int(burst))
         #: runtime invariant checking (repro.validate): ``None``
         #: defers to the ``REPRO_VALIDATE`` environment knob.
         self.validate = validate_enabled() if validate is None else bool(validate)
@@ -254,6 +259,7 @@ class Host:
             lfb_size=lfb_size or self.config.effective_lfb_size,
             t_core_to_cha=self.config.t_core_to_cha,
             t_data_return=self.config.t_data_return,
+            burst=self.burst,
         )
         self.cores.append(core)
         key = name or workload.traffic_class
@@ -311,6 +317,7 @@ class Host:
             ),
             t_io_gap=t_io_gap,
             traffic_class=traffic_class,
+            burst=self.burst,
         )
         device.t_host_return = self.config.t_iio_to_cha + self.config.t_cha_to_mc
         self.devices[name] = device
@@ -339,6 +346,7 @@ class Host:
             ),
             t_host_return=self.config.t_iio_to_cha + self.config.t_cha_to_mc,
             traffic_class=traffic_class,
+            burst=self.burst,
         )
         self.devices[name] = device
         return device
@@ -367,6 +375,7 @@ class Host:
             buffer_bytes=buffer_bytes,
             pfc_enabled=pfc_enabled,
             traffic_class=traffic_class,
+            burst=self.burst,
         )
         nic.t_host_return = self.config.t_iio_to_cha + self.config.t_cha_to_mc
         self.devices[name] = nic

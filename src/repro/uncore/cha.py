@@ -31,7 +31,13 @@ from typing import Deque, Optional, Tuple
 
 from repro.dram.controller import MemoryController
 from repro.sim.engine import Simulator
-from repro.sim.records import Request, RequestKind, RequestSource
+from repro.sim.records import (
+    Request,
+    RequestKind,
+    RequestSource,
+    acquire_request,
+    release_request,
+)
 from repro.telemetry.counters import CounterHub
 from repro.uncore.llc import LastLevelCache
 
@@ -74,9 +80,32 @@ class CHA:
             RequestSource.C2M: hub.occupancy("cha.inflight_reads.c2m"),
             RequestSource.P2M: hub.occupancy("cha.inflight_reads.p2m"),
         }
+        # Per-traffic-class stats, cached so the per-request hot path
+        # skips the f-string build and hub registry lookup.
+        self._admission_delay: dict = {}
+        self._arrival_rates: dict = {}
+        self._completion_rates: dict = {}
+        self._read_latency: dict = {}
+        self._write_latency: dict = {}
         for channel in mc.channels:
             channel.on_rpq_space = self._on_rpq_space
             channel.on_wpq_space = self._on_wpq_space
+
+    def _class_stats(self, traffic_class: str) -> tuple:
+        """Bind (and cache) every per-class stat this CHA records."""
+        hub = self._hub
+        bundle = hub.traffic_class(traffic_class)
+        self._admission_delay[traffic_class] = hub.latency(
+            f"cha.admission_delay.{traffic_class}"
+        )
+        self._arrival_rates[traffic_class] = bundle.arrivals
+        self._completion_rates[traffic_class] = bundle.completions
+        self._read_latency[traffic_class] = hub.latency(
+            f"cha_to_dram_read.{traffic_class}"
+        )
+        self._write_latency[traffic_class] = hub.latency(
+            f"cha_to_mc_write.{traffic_class}"
+        )
 
     # ------------------------------------------------------------------
     # Ingress
@@ -86,13 +115,13 @@ class CHA:
         """A request arrives at the CHA (from a core or the IIO)."""
         now = self._sim.now
         self._ingress.append((req, now))
-        self.ingress_occ.update(now, +1)
+        self.ingress_occ.update(now, req.lines)
         self._pump_ingress()
 
     def _stage_has_room(self, req: Request) -> bool:
         if req.kind is RequestKind.READ:
-            return self.read_stage.value < self.read_capacity
-        return self.write_waiting.value < self.write_capacity
+            return self.read_stage.value + req.lines <= self.read_capacity
+        return self.write_waiting.value + req.lines <= self.write_capacity
 
     def _pump_ingress(self) -> None:
         """Admit ingress heads while their type stage has room (FCFS:
@@ -102,16 +131,19 @@ class CHA:
             if not self._stage_has_room(req):
                 return
             self._ingress.popleft()
-            self.ingress_occ.update(self._sim.now, -1)
+            self.ingress_occ.update(self._sim.now, -req.lines)
             self._admit(req, t_arrival)
 
     def _admit(self, req: Request, t_arrival: float) -> None:
         now = self._sim.now
         req.t_cha_admit = now
-        self._hub.latency(f"cha.admission_delay.{req.traffic_class}").record(
-            now - t_arrival
-        )
-        self._hub.traffic_class(req.traffic_class).arrivals.increment()
+        traffic_class = req.traffic_class
+        delay_stat = self._admission_delay.get(traffic_class)
+        if delay_stat is None:
+            self._class_stats(traffic_class)
+            delay_stat = self._admission_delay[traffic_class]
+        delay_stat.record(now - t_arrival, req.lines)
+        self._arrival_rates[traffic_class].increment(req.lines)
         if req.on_cha_admit is not None:
             req.on_cha_admit(req)
         if req.kind is RequestKind.READ:
@@ -132,18 +164,19 @@ class CHA:
                 return
             if evicted_dirty is not None:
                 self._spawn_writeback(evicted_dirty, req.traffic_class)
-        self.read_stage.update(now, +1)
-        self._inflight_reads[req.source].update(now, +1)
+        lines = req.lines
+        self.read_stage.update(now, lines)
+        self._inflight_reads[req.source].update(now, lines)
         req.on_serviced = self._on_read_serviced
         channel = self._mc.channels[req.channel_id]
-        if channel.can_accept_read():
-            channel.reserve_read()
+        if channel.can_accept_read(lines):
+            channel.reserve_read(lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_read, req)
         else:
             self._read_backlog[req.channel_id].append(req)
 
     def _deliver_read(self, req: Request) -> None:
-        self.read_stage.update(self._sim.now, -1)
+        self.read_stage.update(self._sim.now, -req.lines)
         self._mc.channels[req.channel_id].enqueue_read(req)
         self._pump_ingress()
 
@@ -156,17 +189,22 @@ class CHA:
 
     def _on_read_serviced(self, req: Request) -> None:
         now = self._sim.now
-        self._inflight_reads[req.source].update(now, -1)
+        traffic_class = req.traffic_class
+        self._inflight_reads[req.source].update(now, -req.lines)
         latency = (req.t_service - req.t_cha_admit) + self.t_cha_to_mc
-        self._hub.latency(f"cha_to_dram_read.{req.traffic_class}").record(latency)
-        self._hub.traffic_class(req.traffic_class).completions.increment()
+        stat = self._read_latency.get(traffic_class)
+        if stat is None:
+            self._class_stats(traffic_class)
+            stat = self._read_latency[traffic_class]
+        stat.record(latency, req.lines)
+        self._completion_rates[traffic_class].increment(req.lines)
 
     def _on_rpq_space(self, channel_id: int) -> None:
         backlog = self._read_backlog[channel_id]
         channel = self._mc.channels[channel_id]
-        while backlog and channel.can_accept_read():
+        while backlog and channel.can_accept_read(backlog[0].lines):
             req = backlog.popleft()
-            channel.reserve_read()
+            channel.reserve_read(req.lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_read, req)
 
     # ------------------------------------------------------------------
@@ -195,36 +233,46 @@ class CHA:
                 # Absorbed by a resident line; written back on eviction.
                 self._sim.schedule(0.0, self._complete_absorbed_write, req)
                 return
-        self.write_waiting.update(now, +1)
+        lines = req.lines
+        self.write_waiting.update(now, lines)
         channel = self._mc.channels[req.channel_id]
-        if channel.can_accept_write():
-            channel.reserve_write()
+        if channel.can_accept_write(lines):
+            channel.reserve_write(lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_write, req)
         else:
             self._write_backlog[req.channel_id].append(req)
 
     def _deliver_write(self, req: Request) -> None:
         now = self._sim.now
-        self.write_waiting.update(now, -1)
+        traffic_class = req.traffic_class
+        self.write_waiting.update(now, -req.lines)
         latency = now - req.t_cha_admit
-        self._hub.latency(f"cha_to_mc_write.{req.traffic_class}").record(latency)
+        stat = self._write_latency.get(traffic_class)
+        if stat is None:
+            self._class_stats(traffic_class)
+            stat = self._write_latency[traffic_class]
+        stat.record(latency, req.lines)
         self._mc.channels[req.channel_id].enqueue_write(req)
-        self._hub.traffic_class(req.traffic_class).completions.increment()
+        self._completion_rates[traffic_class].increment(req.lines)
         self._pump_ingress()
 
     def _complete_ddio_write(self, req: Request) -> None:
         req.t_queue_admit = self._sim.now  # domain ends at the LLC
         if req.on_complete is not None:
             req.on_complete(req)
+        # A DDIO write's lifecycle ends at the LLC; any eviction
+        # writeback rides a separate request.
+        release_request(req)
 
     def _complete_absorbed_write(self, req: Request) -> None:
         req.t_queue_admit = self._sim.now
         if req.on_complete is not None:
             req.on_complete(req)
+        release_request(req)
 
     def _make_writeback(self, line_addr: int, traffic_class: str) -> Request:
         """Turn a dirty DDIO eviction into a memory write."""
-        wb = Request(
+        wb = acquire_request(
             RequestSource.P2M,
             RequestKind.WRITE,
             line_addr,
@@ -238,7 +286,7 @@ class CHA:
     def _spawn_writeback(self, line_addr: int, traffic_class: str) -> None:
         """Dirty eviction caused by a read fill: re-enters via ingress
         so it competes for write-stage space like any other write."""
-        wb = Request(
+        wb = acquire_request(
             RequestSource.C2M,
             RequestKind.WRITE,
             line_addr,
@@ -252,9 +300,9 @@ class CHA:
         backlog = self._write_backlog[channel_id]
         channel = self._mc.channels[channel_id]
         moved = False
-        while backlog and channel.can_accept_write():
+        while backlog and channel.can_accept_write(backlog[0].lines):
             req = backlog.popleft()
-            channel.reserve_write()
+            channel.reserve_write(req.lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_write, req)
             moved = True
         if moved:
@@ -276,3 +324,9 @@ class CHA:
     def admission_queue_len(self) -> int:
         """Requests waiting in the shared ingress (HoL queue)."""
         return len(self._ingress)
+
+    @property
+    def admission_queue_lines(self) -> int:
+        """Cachelines waiting in the shared ingress (a burst-mode
+        macro-request counts its full width)."""
+        return sum(req.lines for req, _ in self._ingress)

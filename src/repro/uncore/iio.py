@@ -51,6 +51,10 @@ class IIO:
         self.read_alloc_count = 0
         self.read_release_count = 0
         self._credit_waiters: List[Callable[[], None]] = []
+        # Per-traffic-class domain latency stats, cached so the
+        # per-request hot path skips the f-string and registry lookup.
+        self._write_latency: dict = {}
+        self._read_latency: dict = {}
         # Wired by the host: called by request_admission's target.
         self.cha_admission: Optional[Callable[[Request], None]] = None
 
@@ -58,39 +62,46 @@ class IIO:
     # Credits (PCIe credits == IIO buffer entries)
     # ------------------------------------------------------------------
 
-    def has_credit(self, kind: RequestKind) -> bool:
-        """Whether a device may initiate a DMA of this direction."""
+    def has_credit(self, kind: RequestKind, n: int = 1) -> bool:
+        """Whether a device may initiate an ``n``-line DMA burst."""
         if kind is RequestKind.WRITE:
-            return self.write_occ.value < self.write_entries
-        return self.read_occ.value < self.read_entries
+            return self.write_occ.value + n <= self.write_entries
+        return self.read_occ.value + n <= self.read_entries
 
     def alloc(self, req: Request) -> None:
-        """Allocate an IIO entry at DMA initiation time (device side)."""
+        """Allocate IIO entries at DMA initiation time (device side)."""
         now = self._sim.now
         req.t_alloc = now
+        lines = req.lines
         if req.kind is RequestKind.WRITE:
-            self.write_alloc_count += 1
-            self.write_occ.update(now, +1)
+            self.write_alloc_count += lines
+            self.write_occ.update(now, lines)
         else:
-            self.read_alloc_count += 1
-            self.read_occ.update(now, +1)
+            self.read_alloc_count += lines
+            self.read_occ.update(now, lines)
 
     def release(self, req: Request) -> None:
         """Replenish the credit and record the P2M domain latency."""
         now = self._sim.now
         req.t_free = now
+        traffic_class = req.traffic_class
+        lines = req.lines
         if req.kind is RequestKind.WRITE:
-            self.write_release_count += 1
-            self.write_occ.update(now, -1)
-            self._hub.latency(f"domain.p2m_write.{req.traffic_class}").record(
-                now - req.t_alloc
-            )
+            self.write_release_count += lines
+            self.write_occ.update(now, -lines)
+            stat = self._write_latency.get(traffic_class)
+            if stat is None:
+                stat = self._hub.latency(f"domain.p2m_write.{traffic_class}")
+                self._write_latency[traffic_class] = stat
+            stat.record(now - req.t_alloc, lines)
         else:
-            self.read_release_count += 1
-            self.read_occ.update(now, -1)
-            self._hub.latency(f"domain.p2m_read.{req.traffic_class}").record(
-                now - req.t_alloc
-            )
+            self.read_release_count += lines
+            self.read_occ.update(now, -lines)
+            stat = self._read_latency.get(traffic_class)
+            if stat is None:
+                stat = self._hub.latency(f"domain.p2m_read.{traffic_class}")
+                self._read_latency[traffic_class] = stat
+            stat.record(now - req.t_alloc, lines)
         self._notify_waiters()
 
     def add_credit_waiter(self, callback: Callable[[], None]) -> None:

@@ -1,181 +1,303 @@
 """Engine-level probes: a checking simulator and a dispatch self-test.
 
 :class:`ValidatingSimulator` is a drop-in :class:`~repro.sim.engine.Simulator`
-whose dispatch loops verify, per event, that
+whose dispatch loop verifies, per event, that
 
-* the clock is monotone (an event's timestamp never precedes ``now``);
-* every heap entry is well-formed — a ``(time, seq, fn, args)`` tuple
-  for the fast path or ``(time, seq, None, event)`` for the
-  cancellable path, with the wrapper's ``time``/``seq`` agreeing with
-  its heap key;
+* the clock is monotone (a bucket's instant never precedes ``now``);
+* every bucket entry is well-formed — an ``(fn, args)`` pair for the
+  fast path, an :class:`~repro.sim.engine.Event` for the cancellable
+  path (its ``time`` agreeing with the bucket's instant), or a chain
+  payload for a ``schedule_many`` train with its cursor in range;
 
-and whose :meth:`verify_heap` checks the binary-heap ordering property
-of the whole pending set (O(n), so it runs at window boundaries, not
-per event). Dispatch order, ``events_processed`` and the clock
+and whose :meth:`verify_heap` checks the heap ordering property over
+the pending instants, the heap/bucket synchronisation (every pending
+instant appears in the heap exactly once and owns a non-empty bucket)
+and the live-pending counter (O(n), so it runs at window boundaries,
+not per event). Dispatch order, ``events_processed`` and the clock
 trajectory are bit-identical to the base class: validation must never
 change what it validates.
 
 :func:`dispatch_equivalence_selftest` replays one scripted workload
-through the fast path and the cancellable path and demands identical
-execution order — the two heap representations are an optimization,
-not a semantic fork.
+through the fast path, the cancellable path and the bulk
+(``schedule_many``) path and demands identical execution order — the
+bucket representations are an optimization, not a semantic fork.
 """
 
 from __future__ import annotations
 
-from heapq import heappop
+from heapq import heappop, heappush
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, Simulator, _Chain
 from repro.validate.invariants import InvariantViolation
+
+
+def _check_shape(entry) -> None:
+    """Raise unless ``entry`` is a well-formed bucket entry."""
+    cls = entry.__class__
+    if cls is tuple:
+        if (
+            len(entry) != 2
+            or not callable(entry[0])
+            or not isinstance(entry[1], tuple)
+        ):
+            raise InvariantViolation(
+                "engine",
+                "heap-entry-shape",
+                f"malformed fast-path entry {entry!r}",
+            )
+    elif cls is _Chain:
+        if not 0 <= entry.idx <= len(entry.argslist):
+            raise InvariantViolation(
+                "engine",
+                "heap-entry-shape",
+                "chain cursor out of range",
+                details={
+                    "idx": entry.idx,
+                    "members": len(entry.argslist),
+                },
+            )
+    elif cls is not Event:
+        raise InvariantViolation(
+            "engine",
+            "heap-entry-shape",
+            f"bucket entry of unrecognised shape: {entry!r}",
+        )
 
 
 class ValidatingSimulator(Simulator):
     """Simulator with per-event invariant checks (REPRO_VALIDATE=1)."""
 
-    def _check_entry(self, entry) -> None:
-        if not isinstance(entry, tuple) or len(entry) != 4:
+    __slots__ = ()
+
+    def _check_entry(self, time: float, entry) -> None:
+        _check_shape(entry)
+        if entry.__class__ is Event and entry.time != time:
             raise InvariantViolation(
                 "engine",
                 "heap-entry-shape",
-                f"malformed heap entry {entry!r}",
+                "Event wrapper disagrees with its bucket instant",
+                details={"bucket": time, "event": entry.time},
             )
-        time, seq, fn, payload = entry
+
+    def _check_instant(self, time: float) -> None:
         if time < self.now:
             raise InvariantViolation(
                 "engine",
                 "clock-monotonicity",
                 f"event at t={time} surfaced after now={self.now}",
-                details={"seq": seq},
             )
-        if fn is None:
-            if not isinstance(payload, Event):
-                raise InvariantViolation(
-                    "engine",
-                    "heap-entry-shape",
-                    f"None-callback entry without Event payload: {payload!r}",
-                )
-            if payload.time != time or payload.seq != seq:
-                raise InvariantViolation(
-                    "engine",
-                    "heap-entry-shape",
-                    "Event wrapper disagrees with its heap key",
-                    details={
-                        "key": (time, seq),
-                        "event": (payload.time, payload.seq),
-                    },
-                )
-        elif not callable(fn):
+
+    def _pop_bucket(self, time: float):
+        bucket = self._buckets.pop(time, None)
+        if bucket is None:
             raise InvariantViolation(
                 "engine",
-                "heap-entry-shape",
-                f"non-callable fast-path callback {fn!r}",
+                "heap-bucket-sync",
+                f"pending instant t={time} has no bucket",
             )
+        return bucket
 
     def verify_heap(self) -> int:
-        """Check the pending set's heap property (see :func:`verify_heap`)."""
+        """Check the pending set's structure (see :func:`verify_heap`)."""
         return verify_heap(self)
 
-    # The loops mirror Simulator.run_until / Simulator.run exactly —
-    # same coalescing, same counters — plus the per-entry checks.
+    # The dispatch cores mirror Simulator._drain / _drain_limited
+    # exactly — same coalescing, same counters — plus the per-entry
+    # checks.
 
-    def run_until(self, t_end: float) -> None:
-        if not t_end >= self.now:
-            raise ValueError(
-                f"cannot run backwards (t_end={t_end}, now={self.now})"
-            )
+    def _drain(self, t_end: float) -> int:
         heap = self._heap
         pop = heappop
         processed = self._events_processed
-        while heap:
-            time = heap[0][0]
-            if time >= t_end:
-                break
-            self._check_entry(heap[0])
+        start = processed
+        while heap and heap[0] < t_end:
+            time = pop(heap)
+            self._check_instant(time)
             self.now = time
-            while heap and heap[0][0] == time:
-                entry = pop(heap)
-                self._check_entry(entry)
-                fn = entry[2]
-                if fn is None:
-                    event = entry[3]
-                    if event.cancelled:
+            bucket = self._pop_bucket(time)
+            if bucket.__class__ is not list:
+                bucket = (bucket,)
+            for entry in bucket:
+                self._check_entry(time, entry)
+                cls = entry.__class__
+                if cls is tuple:
+                    processed += 1
+                    entry[0](*entry[1])
+                elif cls is Event:
+                    if entry.cancelled:
+                        self._cancelled -= 1
                         continue
+                    entry._sim = None
                     processed += 1
-                    event.fn(*event.args)
+                    entry.fn(*entry.args)
                 else:
-                    processed += 1
-                    fn(*entry[3])
+                    chain_fn = entry.fn
+                    argslist = entry.argslist
+                    i = entry.idx
+                    n = len(argslist)
+                    while i < n:
+                        args = argslist[i]
+                        i += 1
+                        processed += 1
+                        chain_fn(*args)
+                    entry.idx = n
         self._events_processed = processed
-        self.now = t_end
+        return processed - start
 
-    def run(self, max_events: int = 100_000_000) -> None:
+    def _drain_limited(self, t_end: float, limit: int) -> int:
         heap = self._heap
-        pop = heappop
-        executed = 0
-        while heap and executed < max_events:
-            entry = pop(heap)
-            self._check_entry(entry)
-            fn = entry[2]
-            if fn is None:
-                event = entry[3]
-                if event.cancelled:
-                    continue
-                self.now = entry[0]
-                self._events_processed += 1
-                executed += 1
-                event.fn(*event.args)
-            else:
-                self.now = entry[0]
-                self._events_processed += 1
-                executed += 1
-                fn(*entry[3])
-        if executed >= max_events:
-            while heap and heap[0][2] is None and heap[0][3].cancelled:
-                pop(heap)
-            if heap:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
+        buckets = self._buckets
+        processed = self._events_processed
+        start = processed
+        limit += processed
+        while heap and heap[0] < t_end and processed < limit:
+            time = heappop(heap)
+            self._check_instant(time)
+            self.now = time
+            bucket = self._pop_bucket(time)
+            if bucket.__class__ is not list:
+                bucket = [bucket]
+            i = 0
+            n_entries = len(bucket)
+            while i < n_entries:
+                if processed >= limit:
+                    break
+                entry = bucket[i]
+                self._check_entry(time, entry)
+                cls = entry.__class__
+                if cls is tuple:
+                    i += 1
+                    processed += 1
+                    entry[0](*entry[1])
+                elif cls is Event:
+                    i += 1
+                    if entry.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    entry._sim = None
+                    processed += 1
+                    entry.fn(*entry.args)
+                else:
+                    chain_fn = entry.fn
+                    argslist = entry.argslist
+                    j = entry.idx
+                    n = len(argslist)
+                    while j < n and processed < limit:
+                        args = argslist[j]
+                        j += 1
+                        processed += 1
+                        chain_fn(*args)
+                    entry.idx = j
+                    if j < n:
+                        break
+                    i += 1
+            if i < n_entries:
+                rest = bucket[i:]
+                tail = buckets.get(time)
+                if tail is None:
+                    heappush(heap, time)
+                elif tail.__class__ is list:
+                    rest.extend(tail)
+                else:
+                    rest.append(tail)
+                buckets[time] = rest
+                break
+        self._events_processed = processed
+        return processed - start
 
 
 def verify_heap(sim: Simulator) -> int:
-    """Check the heap ordering property over every pending entry.
+    """Check the pending set's structure over every scheduled entry.
 
     Works on any :class:`Simulator` (not only the validating
-    subclass). Returns the number of entries verified; raises
-    :class:`InvariantViolation` on a violated parent/child order,
-    which would mean events could fire out of timestamp order.
-    O(n) over the pending set, so call it at window boundaries.
+    subclass). Verifies
+
+    * the heap ordering property over the pending instants (a
+      violation would mean events could fire out of timestamp order);
+    * heap/bucket synchronisation: each pending instant appears in the
+      heap exactly once and owns a non-empty, well-formed bucket;
+    * the live-pending counter against a bucket walk — a disagreement
+      would mean a cancellation was double-counted or lost.
+
+    Returns the number of scheduled events verified (including
+    cancelled residue and undispatched chain members). O(n) over the
+    pending set, so call it at window boundaries.
     """
     heap = sim._heap
+    buckets = sim._buckets
     n = len(heap)
     for parent in range(n):
-        key = heap[parent][:2]
+        time = heap[parent]
         for child in (2 * parent + 1, 2 * parent + 2):
-            if child < n and heap[child][:2] < key:
+            if child < n and heap[child] < time:
                 raise InvariantViolation(
                     "engine",
                     "heap-order",
                     f"heap property violated at index {parent}",
-                    details={
-                        "parent": heap[parent][:2],
-                        "child": heap[child][:2],
-                    },
+                    details={"parent": time, "child": heap[child]},
                 )
-    return n
+    if n != len(buckets) or len(set(heap)) != n or set(heap) != set(buckets):
+        raise InvariantViolation(
+            "engine",
+            "heap-bucket-sync",
+            "pending instants in the heap disagree with the buckets",
+            details={"heap": n, "buckets": len(buckets)},
+        )
+    total = 0
+    live = 0
+    for time, bucket in buckets.items():
+        entries = bucket if bucket.__class__ is list else (bucket,)
+        if not entries:
+            raise InvariantViolation(
+                "engine",
+                "heap-bucket-sync",
+                f"pending instant t={time} owns an empty bucket",
+            )
+        for entry in entries:
+            _check_shape(entry)
+            cls = entry.__class__
+            if cls is Event:
+                total += 1
+                if entry.time != time:
+                    raise InvariantViolation(
+                        "engine",
+                        "heap-entry-shape",
+                        "Event wrapper disagrees with its bucket instant",
+                        details={"bucket": time, "event": entry.time},
+                    )
+                if not entry.cancelled:
+                    live += 1
+            elif cls is _Chain:
+                members = len(entry.argslist) - entry.idx
+                total += members
+                live += members
+            else:
+                total += 1
+                live += 1
+    if live != sim.pending_live:
+        raise InvariantViolation(
+            "engine",
+            "live-pending",
+            "live-pending counter disagrees with a bucket walk",
+            details={"counter": sim.pending_live, "walk": live},
+        )
+    return total
 
 
 #: scripted delays for the dispatch self-test: repeats, zero gaps and
-#: out-of-order submission exercise the (time, seq) total order.
+#: out-of-order submission exercise the (time, submission) total order.
 _SELFTEST_DELAYS = (5.0, 1.0, 1.0, 3.0, 0.0, 9.0, 3.0, 1.0, 7.0, 0.0, 2.0, 5.0)
 
 
 def dispatch_equivalence_selftest() -> None:
-    """Fast-path and cancellable-path dispatch must be order-identical.
+    """Fast-path, cancellable-path and bulk dispatch must agree.
 
-    Runs the same scripted workload through ``schedule`` and through
-    ``schedule_cancellable`` (with one cancelled straggler in the
-    latter) and raises :class:`InvariantViolation` if execution order
-    or the processed-event count diverge. Cheap (a few dozen events);
-    the validator runs it once per host.
+    Runs the same scripted workload through ``schedule``, through
+    ``schedule_cancellable`` (with one cancelled straggler) and
+    through ``schedule_many`` (members grouped by delay) and raises
+    :class:`InvariantViolation` if execution order or the
+    processed-event count diverge. Cheap (a few dozen events); the
+    validator runs it once per host.
     """
     fast = Simulator()
     fast_order: list = []
@@ -207,4 +329,36 @@ def dispatch_equivalence_selftest() -> None:
                 "fast": fast.events_processed,
                 "cancellable": slow.events_processed,
             },
+        )
+
+    # Bulk path: same instants, one schedule_many train per delay
+    # value. Equivalent per-member schedule() calls would interleave
+    # trains by submission order, so submit in that order too.
+    bulk = Simulator()
+    bulk_order: list = []
+    for delay in sorted(set(_SELFTEST_DELAYS)):
+        members = [
+            (i,) for i, d in enumerate(_SELFTEST_DELAYS) if d == delay
+        ]
+        bulk.schedule_many(delay, bulk_order.append, members)
+    bulk.run_until(100.0)
+    if sorted(bulk_order) != sorted(fast_order) or len(bulk_order) != len(
+        fast_order
+    ):
+        raise InvariantViolation(
+            "engine",
+            "dispatch-equivalence",
+            "bulk-path dispatch lost or duplicated members",
+            details={"fast": fast_order, "bulk": bulk_order},
+        )
+    by_time: dict = {}
+    for i, delay in enumerate(_SELFTEST_DELAYS):
+        by_time.setdefault(delay, []).append(i)
+    expected = [i for delay in sorted(by_time) for i in by_time[delay]]
+    if bulk_order != expected:
+        raise InvariantViolation(
+            "engine",
+            "dispatch-equivalence",
+            "bulk-path execution order diverges from per-member order",
+            details={"expected": expected, "bulk": bulk_order},
         )

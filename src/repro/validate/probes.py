@@ -216,12 +216,12 @@ class Validator:
         self._now = host.sim.now
         cha = host.cha
         self._require(
-            cha.ingress_occ.value == cha.admission_queue_len,
+            cha.ingress_occ.value == cha.admission_queue_lines,
             "cha.ingress",
             "occupancy-accounting",
             "ingress occupancy counter disagrees with the FCFS queue",
             counter=cha.ingress_occ.value,
-            queue=cha.admission_queue_len,
+            queue=cha.admission_queue_lines,
         )
         self._require(
             cha.read_stage.value >= 0,
@@ -299,11 +299,14 @@ class Validator:
             in_flight_reads = channel.rpq_count - bank_reads
             in_flight_writes = channel.wpq_count - bank_writes
             # At most one request has been popped for transmit but not
-            # yet completed (the channel serializes transmissions).
+            # yet completed (the channel serializes transmissions); a
+            # burst-mode macro-request accounts for up to ``burst``
+            # lines in flight at once.
+            max_in_flight = max(1, getattr(host, "burst", 1))
             self._require(
                 in_flight_reads >= 0
                 and in_flight_writes >= 0
-                and in_flight_reads + in_flight_writes <= 1,
+                and in_flight_reads + in_flight_writes <= max_in_flight,
                 name,
                 "bank-fifo-accounting",
                 "bank FIFO contents do not reconcile with queue counts",

@@ -180,16 +180,30 @@ class TestValidatingSimulator:
 
     def test_malformed_heap_entry_detected(self):
         sim = ValidatingSimulator()
-        heapq.heappush(sim._heap, (1.0, 0, "not-callable", ()))
+        sim._buckets[1.0] = ("not-callable", ())
+        heapq.heappush(sim._heap, 1.0)
         with pytest.raises(InvariantViolation, match="heap-entry-shape"):
             sim.run_until(10.0)
 
     def test_time_travelling_entry_detected(self):
         sim = ValidatingSimulator()
         sim.run_until(10.0)
-        sim._heap.append((1.0, 0, print, ()))  # t < now, bypassing schedule()
+        # t < now, bypassing schedule()
+        sim._buckets[1.0] = (print, ())
+        sim._heap.append(1.0)
         with pytest.raises(InvariantViolation, match="clock-monotonicity"):
             sim.run(max_events=10)
+
+    def test_desynchronised_bucket_detected(self):
+        sim = ValidatingSimulator()
+        heapq.heappush(sim._heap, 1.0)  # pending instant with no bucket
+        with pytest.raises(InvariantViolation, match="heap-bucket-sync"):
+            sim.run_until(10.0)
+        sim = ValidatingSimulator()
+        sim.schedule(1.0, lambda: None)
+        sim._heap.clear()  # bucket with no pending instant
+        with pytest.raises(InvariantViolation, match="heap-bucket-sync"):
+            verify_heap(sim)
 
     def test_run_drains_cancelled_residue_at_max_events(self):
         sim = ValidatingSimulator()
