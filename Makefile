@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-fast perf-check check chaos py310-check
+.PHONY: test bench bench-smoke bench-fast perf-check check chaos py310-check lint fig03-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -33,6 +33,18 @@ perf-check:
 py310-check:
 	$(PYTHON) tools/py310_check.py
 
+# Lint tier: ruff check at the version pinned in pyproject.toml
+# ([tool.ruff] required-version); falls back to a stdlib subset lint
+# (syntax, unused imports, duplicate defs) where ruff isn't installed.
+lint:
+	$(PYTHON) tools/lint_check.py
+
+# Bit-exactness tier: the committed fig03 fingerprint
+# (tests/data/fig03_fingerprint.json) must match the live sweep
+# hex-float for hex-float. Refresh intentionally with --write.
+fig03-check:
+	$(PYTHON) tools/fig03_check.py
+
 # Chaos tier: the fast-scale fig03 sweep under deterministically
 # injected worker kills, transient exceptions and cache corruption
 # must stay float-identical to a fault-free run, with every recovered
@@ -41,13 +53,15 @@ py310-check:
 chaos:
 	$(PYTHON) tools/chaos_check.py
 
-# PR smoke gate: tier-1 tests plus smoke-scale benches, exercising the
-# parallel sweep path (REPRO_JOBS=2) against a cold cache — once plain
-# and once with runtime invariant checking (REPRO_VALIDATE=1), which
-# must pass with zero violations — the engine perf gate, and the
-# chaos tier.
-check: py310-check
+# PR smoke gate: lint + version-floor gates, tier-1 tests plus
+# smoke-scale benches, exercising the parallel sweep path
+# (REPRO_JOBS=2) against a cold cache — once plain and once with
+# runtime invariant checking (REPRO_VALIDATE=1), which must pass with
+# zero violations — the fig03 bit-exactness gate, the engine perf
+# gate, and the chaos tier.
+check: py310-check lint
 	$(PYTHON) -m pytest -x -q tests/
+	$(PYTHON) tools/fig03_check.py
 	$(PYTHON) tools/perf_check.py
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Domain calculator: the paper's abstraction without the simulator.
+"""Domain calculator driven by live credit-runtime measurements.
 
 Domain-by-domain credit-based flow control is useful as a back-of-the-
-envelope tool on its own: given a domain's credits and latency, its
-throughput is bounded by ``T <= C x 64 / L`` (§4.1). This example
-answers three questions analytically:
+envelope tool: given a domain's credits and latency, its throughput is
+bounded by ``T <= C x 64 / L`` (§4.1). Where the constants used to be
+hand-copied from the paper, this example now *measures* them — it runs
+a small fig03-style colocation (C2M-ReadWrite cores next to DMA write
+and read streams) and builds every :class:`repro.core.Domain` from the
+run's :class:`repro.sim.credit.DomainSnapshot`\\ s, then answers:
 
-1. What does each domain's unloaded bound look like on the paper's
-   Cascade Lake host?
+1. What does each domain's measured bound look like, and how close did
+   the run come to it (the bound utilization ``T*L/(C*64)``)?
 2. How much latency inflation can the P2M-Write domain absorb before a
    14 GB/s NVMe array notices? (§5.1's spare-credit argument)
-3. Why does a fully-utilized C2M-Read domain degrade *immediately*
-   under any inflation?
+3. Why does a saturated C2M-Read domain degrade *immediately* under
+   any inflation?
 
 Run:  python examples/domain_calculator.py
 """
@@ -27,63 +30,106 @@ from repro.core import (
 )
 from repro.core.domain import credits_needed
 from repro.experiments.reporting import render_table
+from repro.sim.records import RequestKind
+from repro.topology.host import Host
+from repro.topology.presets import cascade_lake
 
-#: unloaded characteristics measured in §4.2 (Cascade Lake)
-DOMAINS = {
-    DomainKind.C2M_READ: Domain(DomainKind.C2M_READ, 10, 70.0),
-    DomainKind.C2M_WRITE: Domain(DomainKind.C2M_WRITE, 10, 10.0),
-    DomainKind.P2M_WRITE: Domain(DomainKind.P2M_WRITE, 92, 300.0),
-    DomainKind.P2M_READ: Domain(DomainKind.P2M_READ, 200, 520.0),
+WARMUP_NS = 5_000.0
+MEASURE_NS = 15_000.0
+
+#: unloaded latencies measured in §4.2 (Cascade Lake); the run below
+#: supplies the *loaded* latency, so inflation is meaningful.
+UNLOADED_NS = {
+    DomainKind.C2M_READ: 70.0,
+    DomainKind.C2M_WRITE: 10.0,
+    DomainKind.P2M_WRITE: 300.0,
+    DomainKind.P2M_READ: 520.0,
 }
 
 
+def measure_domains():
+    """One fig03-style colocated run exercising all four domains."""
+    host = Host(cascade_lake(), seed=1)
+    host.add_stream_cores(2, store_fraction=1.0)  # C2M-ReadWrite
+    host.add_raw_dma(RequestKind.WRITE, name="dma_write")  # P2M-Write
+    host.add_raw_dma(RequestKind.READ, name="dma_read")  # P2M-Read
+    result = host.run(warmup_ns=WARMUP_NS, measure_ns=MEASURE_NS)
+    return result
+
+
 def main() -> None:
-    rows = [
-        [
-            kind.value,
-            domain.credits,
-            domain.unloaded_latency_ns,
-            round(domain.unloaded_throughput, 1),
-            "yes" if kind.includes_dram else "no",
-        ]
-        for kind, domain in DOMAINS.items()
-    ]
+    result = measure_domains()
+
+    rows = []
+    for kind_value, snapshot in sorted(result.domain_snapshots.items()):
+        rows.append(
+            [
+                kind_value,
+                round(snapshot.credits, 1),
+                round(snapshot.credits_in_use, 2),
+                round(snapshot.latency_ns, 1),
+                round(snapshot.throughput_bytes_per_ns, 2),
+                (
+                    "inf"
+                    if snapshot.bound_bytes_per_ns == float("inf")
+                    else round(snapshot.bound_bytes_per_ns, 1)
+                ),
+                f"{snapshot.bound_utilization:.0%}",
+            ]
+        )
     print(
         render_table(
-            "Unloaded domain bounds, T <= C x 64 / L (per sender)",
-            ["domain", "credits", "latency_ns", "bound_GBps", "includes_DRAM"],
+            "Live domain snapshots, T <= C x 64 / L (colocated run)",
+            ["domain", "C", "in_use", "L_ns", "T_GBps", "bound_GBps", "util"],
             rows,
         )
     )
 
+    # Measured Domain objects: loaded latency and occupancy from the
+    # run, unloaded baseline from §4.2.
+    domains = {
+        DomainKind(kind_value): Domain.from_snapshot(
+            snapshot, unloaded_latency_ns=UNLOADED_NS[DomainKind(kind_value)]
+        )
+        for kind_value, snapshot in result.domain_snapshots.items()
+        if snapshot.latency_ns > 0
+    }
+
     print()
     nvme_rate = 14.0  # GB/s, the paper's SSD array
-    p2m_write = DOMAINS[DomainKind.P2M_WRITE]
+    p2m_write = domains[DomainKind.P2M_WRITE]
     needed = credits_needed(nvme_rate, p2m_write.unloaded_latency_ns)
     ceiling = p2m_write.tolerable_latency(nvme_rate)
     print(f"P2M-Write at {nvme_rate:.0f} GB/s needs {needed:.0f} of "
           f"{p2m_write.credits:.0f} credits -> "
           f"{p2m_write.credits - needed:.0f} spare.")
-    print(f"Latency may inflate to {ceiling:.0f} ns "
-          f"({ceiling / p2m_write.unloaded_latency_ns:.2f}x) before any "
-          "throughput is lost — the blue regime's P2M immunity (§5.1).")
+    print(f"Measured latency this run: {p2m_write.latency:.0f} ns "
+          f"({p2m_write.latency_inflation:.2f}x unloaded); it may inflate "
+          f"to {ceiling:.0f} ns before any throughput is lost — the blue "
+          "regime's P2M immunity (§5.1).")
 
     print()
-    c2m = DOMAINS[DomainKind.C2M_READ]
-    for inflation in (1.0, 1.26, 1.8):
+    c2m = domains[DomainKind.C2M_READ]
+    saturated = "saturated" if c2m.credits_saturated else "not saturated"
+    print(f"C2M-Read this run: {c2m.credits_in_use:.1f} of "
+          f"{c2m.credits:.0f} credits in use ({saturated}; threshold "
+          f"{c2m.saturation_threshold:.0%}).")
+    for inflation in (1.0, c2m.latency_inflation, 1.8):
         latency = c2m.unloaded_latency_ns * inflation
         bound = throughput_bound(c2m.credits, latency)
         print(f"C2M-Read at {inflation:.2f}x latency: "
-              f"{bound:5.2f} GB/s per core "
+              f"{bound:5.2f} GB/s across senders "
               f"({bound / c2m.unloaded_throughput:.0%} of unloaded)")
     print("A full credit pool converts *any* latency inflation straight "
           "into throughput loss.")
 
     print()
-    merged = dict(DOMAINS)
-    print("End-to-end datapath bounds (per sender):")
+    print("End-to-end datapath bounds (measured domains):")
     for path in (C2M_READ, C2M_READWRITE, P2M_WRITE, P2M_READ):
-        print(f"  {path.name:<14} {path.bound(merged):6.1f} GB/s")
+        try:
+            print(f"  {path.name:<14} {path.bound(domains):6.1f} GB/s")
+        except KeyError:
+            print(f"  {path.name:<14} (domain not measured this run)")
 
 
 if __name__ == "__main__":

@@ -86,6 +86,10 @@ class Domain:
             interest (defaults to the unloaded latency).
         credits_in_use: average credits held (occupancy); ``None`` if
             not measured.
+        saturation_threshold: fraction of ``credits`` above which the
+            sender counts as holding (nearly) all credits; the paper's
+            analysis uses ~95% because occupancy averages hover just
+            below C even at the bound.
     """
 
     kind: DomainKind
@@ -93,12 +97,47 @@ class Domain:
     unloaded_latency_ns: float
     loaded_latency_ns: Optional[float] = None
     credits_in_use: Optional[float] = None
+    saturation_threshold: float = 0.95
 
     def __post_init__(self) -> None:
         if self.credits <= 0:
             raise ValueError("credits must be positive")
         if self.unloaded_latency_ns <= 0:
             raise ValueError("unloaded latency must be positive")
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise ValueError("saturation threshold must be in (0, 1]")
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot,
+        unloaded_latency_ns: Optional[float] = None,
+        saturation_threshold: float = 0.95,
+    ) -> "Domain":
+        """Build a measured Domain from a live ``DomainSnapshot``.
+
+        ``snapshot`` is duck-typed (anything with ``kind``, ``credits``,
+        ``credits_in_use`` and ``latency_ns``) so :mod:`repro.core`
+        stays import-cycle-free of the simulator. The snapshot's
+        measured latency becomes the *loaded* latency; pass the
+        no-contention baseline as ``unloaded_latency_ns`` if known
+        (defaults to the measured latency, i.e. inflation 1.0).
+        """
+        measured = snapshot.latency_ns
+        if measured <= 0:
+            raise ValueError(
+                "snapshot has no measured latency "
+                f"(domain {snapshot.kind!r} saw no completions)"
+            )
+        unloaded = unloaded_latency_ns if unloaded_latency_ns is not None else measured
+        return cls(
+            kind=DomainKind(snapshot.kind),
+            credits=snapshot.credits,
+            unloaded_latency_ns=unloaded,
+            loaded_latency_ns=measured,
+            credits_in_use=snapshot.credits_in_use,
+            saturation_threshold=saturation_threshold,
+        )
 
     @property
     def latency(self) -> float:
@@ -130,7 +169,7 @@ class Domain:
         throughput degradation")."""
         if self.credits_in_use is None:
             return False
-        return self.credits_in_use >= 0.95 * self.credits
+        return self.credits_in_use >= self.saturation_threshold * self.credits
 
     def spare_credits(self) -> Optional[float]:
         """Credits not in use, or None if occupancy was not measured."""

@@ -51,8 +51,11 @@ class Core:
         self._cha_admission = cha_admission
         self.workload = workload
         self.lfb = LineFillBuffer(
-            hub.occupancy(f"core{core_id}.lfb", lfb_size), lfb_size
+            hub.occupancy(f"core{core_id}.lfb", lfb_size),
+            lfb_size,
+            name=f"core{core_id}.lfb",
         )
+        hub.register_pool(self.lfb)
         self.t_core_to_cha = t_core_to_cha
         self.t_data_return = t_data_return
         # Macro-event burst factor (REPRO_BURST): operations per
@@ -226,7 +229,7 @@ class Core:
         lines = wb.lines
         self._lat_write.record(now - wb.t_alloc, lines)
         wb.t_free = now
-        self.lfb.free(now, lines)
+        self.lfb.free_held(now, wb.t_alloc, lines)
         self.stores_completed += lines
         if lines == 1:
             self.workload.on_complete(now, was_store=True)
@@ -254,7 +257,7 @@ class Core:
             self._begin_writeback(req, now)
             return
         req.t_free = now
-        self.lfb.free(now, lines)
+        self.lfb.free_held(now, req.t_alloc, lines)
         self.reads_completed += lines
         self._lat_lfb.record(now - req.t_alloc, lines)
         if lines == 1:
@@ -290,7 +293,7 @@ class Core:
         self._lat_write.record(now - wb.t_alloc, lines)
         self._lat_lfb.record(now - read_req.t_alloc, lines)
         read_req.t_free = now
-        self.lfb.free(now, lines)
+        self.lfb.free_held(now, read_req.t_alloc, lines)
         self.stores_completed += lines
         if lines == 1:
             self.workload.on_complete(now, was_store=True)

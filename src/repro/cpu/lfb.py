@@ -6,56 +6,52 @@ domain, LFB→DRAM); for stores, additionally when the writeback is
 handed to the CHA (C2M-Write domain, LFB→CHA). The entry is held for
 the whole round trip to prevent duplicate requests to the same line
 (§4.2, refs. [30, 67]).
+
+The LFB is a :class:`~repro.sim.credit.CreditPool` with the historic
+alloc/free vocabulary kept as thin aliases; the credit-conservation
+counters, occupancy integral and hold-time stat all come from the
+shared runtime.
 """
 
 from __future__ import annotations
 
+from repro.sim.credit import CreditPool
 from repro.telemetry.counters import OccupancyCounter
 
 
-class LineFillBuffer:
-    """Credit pool with occupancy telemetry."""
+class LineFillBuffer(CreditPool):
+    """Per-core credit pool with occupancy telemetry."""
 
-    def __init__(self, occupancy: OccupancyCounter, size: int):
+    __slots__ = ("size",)
+
+    def __init__(
+        self, occupancy: OccupancyCounter, size: int, name: str = "lfb"
+    ):
         if size <= 0:
             raise ValueError("LFB size must be positive")
+        super().__init__(name, occupancy, size)
         self.size = size
-        self._occ = occupancy
-        # Prebound: alloc/free run once per cacheline, so skip the
-        # attribute walk to the counter's update method.
-        self._occ_update = occupancy.update
-        #: lifetime credit-event counts, consumed by the credit
-        #: conservation check of :mod:`repro.validate` (credits freed
-        #: must equal credits acquired, net of occupancy drift).
-        self.alloc_count = 0
-        self.free_count = 0
-
-    @property
-    def in_use(self) -> int:
-        """Entries currently held (credits consumed)."""
-        return self._occ.value
 
     @property
     def has_free_entry(self) -> bool:
         """Whether a new miss can allocate an entry."""
-        return self._occ.value < self.size
-
-    def has_room(self, n: int) -> bool:
-        """Whether ``n`` entries can be allocated at once (burst mode)."""
-        return self._occ.value + n <= self.size
+        return self.occ.value < self.size
 
     def alloc(self, now: float, n: int = 1) -> None:
         """Consume ``n`` credits (entries allocated on L1 misses)."""
-        if self._occ.value + n > self.size:
+        if self.occ.value + n > self.size:
             raise RuntimeError("LFB allocation without a free entry")
-        self.alloc_count += n
-        self._occ_update(now, n)
+        self.acquire(now, n)
 
     def free(self, now: float, n: int = 1) -> None:
         """Replenish ``n`` credits (the misses fully resolved)."""
-        self.free_count += n
-        self._occ_update(now, -n)
+        self.release(now, n)
+
+    def free_held(self, now: float, t_alloc: float, n: int = 1) -> None:
+        """Replenish ``n`` credits held since ``t_alloc``, feeding the
+        pool's credit-hold-time stat (the full LFB round trip)."""
+        self.release_held(now, t_alloc, n)
 
     def average_occupancy(self, now: float) -> float:
         """Time-averaged entries in use over the current window."""
-        return self._occ.average(now)
+        return self.occ.average(now)

@@ -103,8 +103,15 @@ class Channel:
         self._sim = sim
         self.channel_id = channel_id
         self.timing = timing
-        self.rpq_size = rpq_size
-        self.wpq_size = wpq_size
+        #: RPQ/WPQ as shared-runtime credit pools (admission counts
+        #: reservations for requests in transit from the CHA); the
+        #: occupancy counters keep their historical names, and
+        #: ``rpq_size``/``wpq_size`` proxy the pool capacities so
+        #: resizing a queue keeps admission and capacity in sync.
+        self.rpq_pool = hub.pool(f"mc.ch{channel_id}.rpq", rpq_size)
+        self.wpq_pool = hub.pool(f"mc.ch{channel_id}.wpq", wpq_size)
+        self.rpq_occ = self.rpq_pool.occ
+        self.wpq_occ = self.wpq_pool.occ
         self.wpq_hi = max(1, int(wpq_size * wpq_hi_fraction))
         self.wpq_lo = max(0, int(wpq_size * wpq_lo_fraction))
         self.min_write_drain = min_write_drain
@@ -113,13 +120,7 @@ class Channel:
         self.banks: List[Bank] = [Bank(sim, self, b, timing) for b in range(n_banks)]
         self.mode: RequestKind = RequestKind.READ
         self.stats = ChannelStats()
-        self.rpq_occ = hub.occupancy(f"mc.ch{channel_id}.rpq", rpq_size)
-        self.wpq_occ = hub.occupancy(f"mc.ch{channel_id}.wpq", wpq_size)
         self.bank_sampler = BankLoadSampler(n_banks, bank_sample_every)
-        self._rpq_count = 0
-        self._wpq_count = 0
-        self._rpq_reserved = 0
-        self._wpq_reserved = 0
         self._busy_until = 0.0
         self._admit_seq = 0
         self._served_in_mode = 0
@@ -135,20 +136,39 @@ class Channel:
     # Admission (called by the CHA)
     # ------------------------------------------------------------------
 
+    @property
+    def rpq_size(self) -> int:
+        """RPQ capacity in cachelines (the pool's credit count)."""
+        return self.rpq_pool.capacity
+
+    @rpq_size.setter
+    def rpq_size(self, value: int) -> None:
+        self.rpq_pool.capacity = value
+
+    @property
+    def wpq_size(self) -> int:
+        """WPQ capacity in cachelines (the pool's credit count)."""
+        return self.wpq_pool.capacity
+
+    @wpq_size.setter
+    def wpq_size(self, value: int) -> None:
+        self.wpq_pool.capacity = value
+
     def can_accept_read(self, n: int = 1) -> bool:
         """Whether the RPQ has ``n`` slots (counting reservations)."""
-        return self._rpq_count + self._rpq_reserved + n <= self.rpq_size
+        return self.rpq_pool.can_accept(n)
 
     def can_accept_write(self, n: int = 1) -> bool:
         """Whether the WPQ has ``n`` slots (counting reservations)."""
-        return self._wpq_count + self._wpq_reserved + n <= self.wpq_size
+        return self.wpq_pool.can_accept(n)
 
     def _track_wpq_full(self) -> None:
         """Accumulate the time the WPQ is effectively full (occupancy
         plus in-transit reservations), which is the fullness the CHA
         observes — Figs. 7(f)/8(e)."""
         now = self._sim.now
-        full = self._wpq_count + self._wpq_reserved >= self.wpq_size
+        pool = self.wpq_pool
+        full = pool.occ.value + pool.reserved >= self.wpq_size
         if full and self._wpq_full_since is None:
             self._wpq_full_since = now
         elif not full and self._wpq_full_since is not None:
@@ -167,24 +187,22 @@ class Channel:
 
     def reserve_read(self, n: int = 1) -> None:
         """Claim ``n`` RPQ slots for a read in transit from the CHA."""
-        if not self.can_accept_read(n):
+        if not self.rpq_pool.can_accept(n):
             raise RuntimeError("read reservation without RPQ space")
-        self._rpq_reserved += n
+        self.rpq_pool.reserve(n)
 
     def reserve_write(self, n: int = 1) -> None:
         """Claim ``n`` WPQ slots for a write in transit from the CHA."""
-        if not self.can_accept_write(n):
+        if not self.wpq_pool.can_accept(n):
             raise RuntimeError("write reservation without WPQ space")
-        self._wpq_reserved += n
+        self.wpq_pool.reserve(n)
         self._track_wpq_full()
 
     def enqueue_read(self, req: Request) -> None:
         """Admit a read into the RPQ (reservation made earlier)."""
         now = self._sim.now
         lines = req.lines
-        self._rpq_reserved -= lines
-        self._rpq_count += lines
-        self.rpq_occ.update(now, lines)
+        self.rpq_pool.commit(now, lines)
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
         req.t_queue_admit = now
@@ -196,9 +214,7 @@ class Channel:
         the requester's point of view (writes are asynchronous, §3)."""
         now = self._sim.now
         lines = req.lines
-        self._wpq_reserved -= lines
-        self._wpq_count += lines
-        self.wpq_occ.update(now, lines)
+        self.wpq_pool.commit(now, lines)
         self._track_wpq_full()
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
@@ -275,12 +291,12 @@ class Channel:
         precharging/activating, a bounded ~t_proc wait) does *not*
         yield the channel: mode flips are expensive and re-target bank
         preparation."""
-        if self._rpq_count == 0:
-            if self._wpq_count > 0:
+        if self.rpq_occ.value == 0:
+            if self.wpq_occ.value > 0:
                 self._switch_mode(RequestKind.WRITE)
             return
         if (
-            self._wpq_count >= self.wpq_hi
+            self.wpq_occ.value >= self.wpq_hi
             and self._served_in_mode >= self.min_read_batch
         ):
             self._switch_mode(RequestKind.WRITE)
@@ -294,13 +310,13 @@ class Channel:
         """Write drains are bounded batches so a write overload cannot
         monopolize the channel; the overflow backlogs in the WPQ and,
         through it, at the CHA (the red-regime backpressure of §5.2)."""
-        if self._wpq_count == 0:
-            if self._rpq_count > 0:
+        if self.wpq_occ.value == 0:
+            if self.rpq_occ.value > 0:
                 self._switch_mode(RequestKind.READ)
             return
-        if self._rpq_count > 0:
+        if self.rpq_occ.value > 0:
             drained_enough = (
-                self._wpq_count <= self.wpq_lo
+                self.wpq_occ.value <= self.wpq_lo
                 or self._served_in_mode >= self.min_write_drain
             )
             if drained_enough:
@@ -392,8 +408,7 @@ class Channel:
         req.t_service = now
         lines = req.lines
         if req.kind is RequestKind.READ:
-            self._rpq_count -= lines
-            self.rpq_occ.update(now, -lines)
+            self.rpq_pool.release(now, lines)
             if req.on_serviced is not None:
                 req.on_serviced(req)
             if req.on_complete is not None:
@@ -401,8 +416,7 @@ class Channel:
             if self.on_rpq_space is not None:
                 self.on_rpq_space(self.channel_id)
         else:
-            self._wpq_count -= lines
-            self.wpq_occ.update(now, -lines)
+            self.wpq_pool.release(now, lines)
             self._track_wpq_full()
             if self.on_wpq_space is not None:
                 self.on_wpq_space(self.channel_id)
@@ -420,22 +434,22 @@ class Channel:
     @property
     def rpq_count(self) -> int:
         """Reads currently admitted to the RPQ."""
-        return self._rpq_count
+        return self.rpq_occ.value
 
     @property
     def wpq_count(self) -> int:
         """Writes currently admitted to the WPQ."""
-        return self._wpq_count
+        return self.wpq_occ.value
 
     @property
     def rpq_reserved(self) -> int:
         """RPQ slots claimed by reads in transit from the CHA."""
-        return self._rpq_reserved
+        return self.rpq_pool.reserved
 
     @property
     def wpq_reserved(self) -> int:
         """WPQ slots claimed by writes in transit from the CHA."""
-        return self._wpq_reserved
+        return self.wpq_pool.reserved
 
     def queued_in_banks(self) -> tuple:
         """``(read_lines, write_lines)`` sitting in per-bank queues.

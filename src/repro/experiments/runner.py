@@ -109,6 +109,13 @@ class ColocationPoint:
             )
         )
 
+    @property
+    def domain_snapshots(self):
+        """The colocated run's live per-domain (C, occupancy, L, T)
+        snapshots from the shared credit runtime, keyed by domain kind
+        value (``"c2m_read"``, ...)."""
+        return self.colocated.domain_snapshots
+
 
 class ColocationExperiment:
     """Template for an isolated-vs-colocated sweep over C2M core counts.

@@ -8,7 +8,7 @@ bound ``T <= C * 64 / L`` and is validated against measured throughput
 (Fig. 11), with a per-component breakdown (Fig. 12).
 """
 
-from repro.model.inputs import FormulaInputs
+from repro.model.inputs import FormulaInputs, domain_credits
 from repro.model.read_latency import ReadLatencyBreakdown, read_domain_latency, read_queueing_delay
 from repro.model.write_latency import (
     WriteLatencyBreakdown,
@@ -26,6 +26,7 @@ from repro.model.validation import (
 
 __all__ = [
     "FormulaInputs",
+    "domain_credits",
     "ReadLatencyBreakdown",
     "read_domain_latency",
     "read_queueing_delay",

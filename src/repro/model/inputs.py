@@ -18,6 +18,7 @@ full), exactly as in §6.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.topology.host import RunResult
 
@@ -65,3 +66,21 @@ class FormulaInputs:
             pre_conflict_read=result.pre_conflict_read,
             pre_conflict_write=result.pre_conflict_write,
         )
+
+
+def domain_credits(result: RunResult, kind: str) -> Optional[float]:
+    """Credit-pool size ``C`` of one Fig. 5 domain, in cachelines,
+    from the run's live :class:`~repro.sim.credit.DomainSnapshot`\\ s.
+
+    This is the measured counterpart of the config-derived credit
+    counts the §6.2 estimators default to (``n_cores * LFB`` for C2M,
+    the IIO buffer sizes for P2M): the snapshot sums the capacities of
+    the pools actually registered during the run, so per-core
+    ``lfb_size`` overrides are reflected. Returns ``None`` when the
+    domain had no registered pools (e.g. a run without cores asked for
+    ``"c2m_read"``).
+    """
+    snapshot = result.domain_snapshots.get(kind)
+    if snapshot is None or snapshot.credits <= 0:
+        return None
+    return snapshot.credits

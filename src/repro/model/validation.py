@@ -92,6 +92,7 @@ def estimate_c2m_throughput(
     store_stream: bool = False,
     constant_write: float = 0.0,
     cha_admission_correction: bool = False,
+    credits: Optional[float] = None,
 ) -> ThroughputEstimate:
     """Estimate C2M memory throughput from the read-domain formula.
 
@@ -103,6 +104,13 @@ def estimate_c2m_throughput(
 
     ``cha_admission_correction`` adds the measured CHA admission delay
     (the §6.2 fix for quadrant 3 beyond 4 C2M cores).
+
+    ``credits`` overrides the config-derived credit count
+    ``n_cores * LFB`` — pass
+    :func:`repro.model.inputs.domain_credits(result, "c2m_read")
+    <repro.model.inputs.domain_credits>` to use the run's live
+    snapshot (identical for homogeneous cores; differs when per-core
+    ``lfb_size`` overrides are in play).
     """
     timing = result.config.dram_timing
     inputs = FormulaInputs.from_run(result)
@@ -112,7 +120,8 @@ def estimate_c2m_throughput(
     if cha_admission_correction:
         latency += result.cha_admission_delay.get("c2m", 0.0)
     lines_per_request = 2.0 if store_stream else 1.0
-    credits = n_cores * result.config.effective_lfb_size
+    if credits is None:
+        credits = n_cores * result.config.effective_lfb_size
     estimated = credits * lines_per_request * CACHELINE_BYTES / latency
     return ThroughputEstimate(estimated=estimated, measured=result.class_bandwidth("c2m"))
 
@@ -124,22 +133,27 @@ def estimate_p2m_throughput(
     offered_rate: Optional[float] = None,
     measured: Optional[float] = None,
     cha_admission_correction: bool = False,
+    credits: Optional[float] = None,
 ) -> ThroughputEstimate:
     """Estimate P2M throughput from the matching domain formula.
 
     ``offered_rate`` caps the estimate (spare credits mean the domain
     meets its offered load until the bound crosses it); it defaults to
-    the configured device rate.
+    the configured device rate. ``credits`` overrides the IIO buffer
+    size from the config — pass the run's live snapshot credits via
+    :func:`repro.model.inputs.domain_credits`.
     """
     config = result.config
     timing = config.dram_timing
     inputs = FormulaInputs.from_run(result)
     if is_write:
         latency = write_domain_latency(constant, inputs, timing)
-        credits = config.iio_write_entries
+        if credits is None:
+            credits = config.iio_write_entries
     else:
         latency = read_domain_latency(constant, inputs, timing)
-        credits = config.iio_read_entries
+        if credits is None:
+            credits = config.iio_read_entries
     if cha_admission_correction:
         latency += result.cha_admission_delay.get("p2m", 0.0)
     bound = credits * CACHELINE_BYTES / latency

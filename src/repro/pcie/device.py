@@ -131,7 +131,11 @@ class DmaDevice:
         self._pump_event = None
         self.writes_posted = 0
         self.reads_completed = 0
-        iio.add_credit_waiter(self._pump_now)
+        # One-shot credit waiters: when a pump blocks on credits, it
+        # registers once on the pool it needs; the flags dedupe so a
+        # device sits in each FIFO at most once.
+        self._waiting_write_credit = False
+        self._waiting_read_credit = False
 
     def start(self) -> None:
         """Begin pumping DMA at the current simulation time."""
@@ -170,13 +174,33 @@ class DmaDevice:
             return 0.0
         return CACHELINE_BYTES / self.device_rate
 
+    def _wait_for_credit(self, kind: RequestKind) -> None:
+        """Register (once) as a FIFO one-shot waiter on a pool."""
+        if kind is RequestKind.WRITE:
+            if not self._waiting_write_credit:
+                self._waiting_write_credit = True
+                self._iio.write_pool.add_waiter(self._on_write_credit)
+        else:
+            if not self._waiting_read_credit:
+                self._waiting_read_credit = True
+                self._iio.read_pool.add_waiter(self._on_read_credit)
+
+    def _on_write_credit(self) -> None:
+        self._waiting_write_credit = False
+        self._pump()
+
+    def _on_read_credit(self) -> None:
+        self._waiting_read_credit = False
+        self._pump()
+
     def _pump_writes(self) -> float:
         """Send pending DMA writes; returns the next retry time."""
         now = self._sim.now
         burst = self.burst
         while True:
             if not self._iio.has_credit(RequestKind.WRITE, burst):
-                return float("inf")  # credit waiter re-pumps
+                self._wait_for_credit(RequestKind.WRITE)
+                return float("inf")  # the pool waiter re-pumps
             start = max(now, self._next_write_slot, self._link.upstream_next_free())
             if start > now:
                 return start
@@ -223,6 +247,7 @@ class DmaDevice:
         burst = self.burst
         while True:
             if not self._iio.has_credit(RequestKind.READ, burst):
+                self._wait_for_credit(RequestKind.READ)
                 return float("inf")
             start = max(now, self._next_read_slot)
             if start > now:
@@ -289,7 +314,7 @@ class DmaDevice:
         now = self._sim.now
         self.writes_posted += req.lines
         # Update workload state before releasing the credit: the release
-        # synchronously re-pumps credit waiters, which must observe the
+        # synchronously wakes credit waiters, which must observe the
         # post-completion demand (e.g. the next queued IO).
         if req.lines == 1:
             self.workload.on_write_posted(req.line_addr, now)
@@ -297,6 +322,11 @@ class DmaDevice:
             for addr in req.tag:
                 self.workload.on_write_posted(addr, now)
         self._iio.release(req)
+        # The waiter queue only holds credit-blocked devices; a device
+        # blocked on its own *demand* (e.g. a closed-loop workload at
+        # queue depth) is not registered, so re-pump explicitly now
+        # that the completion may have produced new demand.
+        self._pump()
 
     def _on_read_serviced(self, req: Request) -> None:
         """Read data left the memory channel; traverse back to the IIO."""
@@ -312,6 +342,9 @@ class DmaDevice:
     def _finish_read_credit(self, req: Request) -> None:
         """Completion issued: the non-posted credit is replenished."""
         self._iio.release(req)
+        # As in _on_write_posted: demand-blocked (not credit-blocked)
+        # senders are not in the waiter queue; re-evaluate explicitly.
+        self._pump()
 
     def _finish_read_data(self, req: Request) -> None:
         now = self._sim.now

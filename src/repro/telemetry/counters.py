@@ -16,7 +16,10 @@ paper relies on (§4.2):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.credit import CreditPool
 
 
 class OccupancyCounter:
@@ -206,6 +209,7 @@ class CounterHub:
         self._rates: Dict[str, RateCounter] = {}
         self._latencies: Dict[str, LatencyStat] = {}
         self._classes: Dict[str, ClassStats] = {}
+        self._pools: Dict[str, "CreditPool"] = {}
         self._window_start = 0.0
 
     @property
@@ -220,6 +224,36 @@ class CounterHub:
             counter = OccupancyCounter(capacity)
             self._occupancy[name] = counter
         return counter
+
+    def pool(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        soft: bool = False,
+    ) -> "CreditPool":
+        """Get-or-create the named credit pool.
+
+        The pool's occupancy counter is registered under the same name
+        so existing counter-based telemetry keeps working; ``soft``
+        pools get an uncapped counter (their occupancy may transiently
+        exceed the admission threshold, e.g. the CHA write stage under
+        DDIO eviction writebacks).
+        """
+        # Imported lazily: the credit runtime builds on these counters,
+        # so a module-level import would be circular.
+        from repro.sim.credit import CreditPool
+
+        pool = self._pools.get(name)
+        if pool is None:
+            occ = self.occupancy(name, None if soft else capacity)
+            pool = CreditPool(name, occ, capacity, soft=soft)
+            self._pools[name] = pool
+        return pool
+
+    def register_pool(self, pool: "CreditPool") -> None:
+        """Adopt an externally-constructed pool (e.g. a per-core LFB)
+        into the hub's window-reset cycle."""
+        self._pools[pool.name] = pool
 
     def rate(self, name: str) -> RateCounter:
         """Get-or-create the named rate counter."""
@@ -263,3 +297,10 @@ class CounterHub:
             stat.reset(now)
         for stats in self._classes.values():
             stats.reset(now)
+        # Pool occupancy counters are reset through the occupancy
+        # registry above; the hold-time stats live on the pools. The
+        # lifetime alloc/free counts are deliberately *not* reset —
+        # the validator and the DomainTracker snapshot them at window
+        # start instead (credit conservation spans windows).
+        for pool in self._pools.values():
+            pool.latency.reset(now)

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.domain import Domain, DomainKind
 from repro.cpu.core import Core
 from repro.cpu.workloads import MemoryWorkload, SequentialStreamWorkload
 from repro.dram.controller import MemoryController
@@ -23,6 +24,7 @@ from repro.pcie.device import DmaDevice, SequentialDmaWorkload
 from repro.pcie.link import PcieLink
 from repro.pcie.nic import Nic
 from repro.pcie.nvme import NvmeDevice
+from repro.sim.credit import DomainSnapshot, DomainTracker
 from repro.sim.engine import Simulator
 from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
 from repro.telemetry.counters import CounterHub
@@ -86,6 +88,9 @@ class RunResult:
     #: invariant checks passed by :mod:`repro.validate` over this
     #: window; 0 when validation was off (the default)
     invariant_checks: int = 0
+    #: live per-domain (C, occupancy, L, T) snapshots keyed by domain
+    #: kind value ("c2m_read", ...), from the shared credit runtime
+    domain_snapshots: Dict[str, DomainSnapshot] = field(default_factory=dict)
 
     # ------------------------- derived helpers -------------------------
 
@@ -121,6 +126,22 @@ class RunResult:
     def switches(self) -> int:
         """Total read/write mode transitions over the window."""
         return self.switches_wtr + self.switches_rtw
+
+    def domain(self, kind: str) -> Optional[DomainSnapshot]:
+        """One domain's live snapshot, e.g. ``domain("c2m_read")``."""
+        return self.domain_snapshots.get(kind)
+
+    def domains(self) -> Dict[str, Domain]:
+        """Measured :class:`~repro.core.domain.Domain` objects built
+        from the live snapshots (credits, latency and occupancy all
+        come from the run rather than hand-entered constants). Domains
+        that saw no completions this window are omitted — they have no
+        measured latency to build on."""
+        return {
+            kind: Domain.from_snapshot(snapshot)
+            for kind, snapshot in self.domain_snapshots.items()
+            if snapshot.credits > 0 and snapshot.latency_ns > 0
+        }
 
 
 class Host:
@@ -204,6 +225,18 @@ class Host:
             t_iio_to_cha=config.t_iio_to_cha,
         )
         self.iio.cha_admission = self.cha.request_admission
+        #: the Fig. 5 domain registry over the shared credit runtime;
+        #: per-core LFB pools join in :meth:`add_core`, and the
+        #: auxiliary pools (CHA stages, RPQ/WPQ) are tracked so the
+        #: validator walks every pool through one conservation probe.
+        self.domains = DomainTracker(self.hub)
+        self.domains.register(DomainKind.P2M_WRITE, self.iio.write_pool)
+        self.domains.register(DomainKind.P2M_READ, self.iio.read_pool)
+        self.domains.track(self.cha.read_stage)
+        self.domains.track(self.cha.write_waiting)
+        for channel in self.mc.channels:
+            self.domains.track(channel.rpq_pool)
+            self.domains.track(channel.wpq_pool)
         self.link = PcieLink(
             self.sim,
             bandwidth_bytes_per_ns=config.pcie_bandwidth,
@@ -262,6 +295,11 @@ class Host:
             burst=self.burst,
         )
         self.cores.append(core)
+        # The LFB backs both C2M domains: loads hold an entry until
+        # data returns (C2M-Read), stores until CHA admission
+        # (C2M-Write) — one pool, two Fig. 5 domains.
+        self.domains.register(DomainKind.C2M_READ, core.lfb)
+        self.domains.register(DomainKind.C2M_WRITE, core.lfb)
         key = name or workload.traffic_class
         self._workloads.setdefault(key, []).append(workload)
         return core
@@ -401,6 +439,7 @@ class Host:
         """Start a fresh measurement window at the current time."""
         now = self.sim.now
         self.hub.reset(now)
+        self.domains.begin_window(now)
         self.mc.reset_stats(now)
         for core in self.cores:
             core.reset_stats(now)
@@ -551,4 +590,5 @@ class Host:
             device_lines=device_lines,
             device_ios=device_ios,
             extra=extra,
+            domain_snapshots=self.domains.snapshot_all(now, elapsed_ns),
         )

@@ -71,11 +71,14 @@ class CHA:
         self._read_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
         self._write_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
         self.ingress_occ = hub.occupancy("cha.ingress")
-        # No hard capacity on the counters themselves: DDIO eviction
-        # writebacks enter the write stage without passing ingress, so
-        # occupancy may transiently exceed the admission threshold.
-        self.read_stage = hub.occupancy("cha.read_stage")
-        self.write_waiting = hub.occupancy("cha.write_waiting")
+        # Soft pools: the capacity is the *admission* threshold, not a
+        # hard occupancy cap — DDIO eviction writebacks enter the write
+        # stage without passing ingress, so occupancy may transiently
+        # exceed it (and the backing counters stay uncapped).
+        self.read_stage = hub.pool("cha.read_stage", read_capacity, soft=True)
+        self.write_waiting = hub.pool(
+            "cha.write_waiting", write_capacity, soft=True
+        )
         self._inflight_reads = {
             RequestSource.C2M: hub.occupancy("cha.inflight_reads.c2m"),
             RequestSource.P2M: hub.occupancy("cha.inflight_reads.p2m"),
@@ -120,8 +123,8 @@ class CHA:
 
     def _stage_has_room(self, req: Request) -> bool:
         if req.kind is RequestKind.READ:
-            return self.read_stage.value + req.lines <= self.read_capacity
-        return self.write_waiting.value + req.lines <= self.write_capacity
+            return self.read_stage.has_room(req.lines)
+        return self.write_waiting.has_room(req.lines)
 
     def _pump_ingress(self) -> None:
         """Admit ingress heads while their type stage has room (FCFS:
@@ -165,7 +168,7 @@ class CHA:
             if evicted_dirty is not None:
                 self._spawn_writeback(evicted_dirty, req.traffic_class)
         lines = req.lines
-        self.read_stage.update(now, lines)
+        self.read_stage.acquire(now, lines)
         self._inflight_reads[req.source].update(now, lines)
         req.on_serviced = self._on_read_serviced
         channel = self._mc.channels[req.channel_id]
@@ -176,7 +179,7 @@ class CHA:
             self._read_backlog[req.channel_id].append(req)
 
     def _deliver_read(self, req: Request) -> None:
-        self.read_stage.update(self._sim.now, -req.lines)
+        self.read_stage.release(self._sim.now, req.lines)
         self._mc.channels[req.channel_id].enqueue_read(req)
         self._pump_ingress()
 
@@ -234,7 +237,7 @@ class CHA:
                 self._sim.schedule(0.0, self._complete_absorbed_write, req)
                 return
         lines = req.lines
-        self.write_waiting.update(now, lines)
+        self.write_waiting.acquire(now, lines)
         channel = self._mc.channels[req.channel_id]
         if channel.can_accept_write(lines):
             channel.reserve_write(lines)
@@ -245,7 +248,7 @@ class CHA:
     def _deliver_write(self, req: Request) -> None:
         now = self._sim.now
         traffic_class = req.traffic_class
-        self.write_waiting.update(now, -req.lines)
+        self.write_waiting.release(now, req.lines)
         latency = now - req.t_cha_admit
         stat = self._write_latency.get(traffic_class)
         if stat is None:

@@ -13,13 +13,18 @@ domains (§4.1):
   when data returns from DRAM and the completion is issued — the
   P2M-Read domain spans IIO→DRAM.
 
+Both buffers are :class:`~repro.sim.credit.CreditPool`\\ s; a
+credit-blocked device registers a one-shot FIFO waiter on the pool it
+needs instead of the historical broadcast-to-every-device list, so
+wakeups are O(waiters) and served in registration order.
+
 The paper measures ~92 write-buffer entries and >164 read credits on
 its servers; those are the defaults here.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.records import Request, RequestKind, RequestSource
@@ -42,15 +47,12 @@ class IIO:
         self.write_entries = write_entries
         self.read_entries = read_entries
         self.t_iio_to_cha = t_iio_to_cha
-        self.write_occ = hub.occupancy("iio.write", write_entries)
-        self.read_occ = hub.occupancy("iio.read", read_entries)
-        #: lifetime credit-event counts per pool, consumed by the
-        #: credit conservation check of :mod:`repro.validate`.
-        self.write_alloc_count = 0
-        self.write_release_count = 0
-        self.read_alloc_count = 0
-        self.read_release_count = 0
-        self._credit_waiters: List[Callable[[], None]] = []
+        #: the P2M credit pools (shared credit runtime); the occupancy
+        #: counters stay registered under their historical names.
+        self.write_pool = hub.pool("iio.write", write_entries)
+        self.read_pool = hub.pool("iio.read", read_entries)
+        self.write_occ = self.write_pool.occ
+        self.read_occ = self.read_pool.occ
         # Per-traffic-class domain latency stats, cached so the
         # per-request hot path skips the f-string and registry lookup.
         self._write_latency: dict = {}
@@ -62,55 +64,71 @@ class IIO:
     # Credits (PCIe credits == IIO buffer entries)
     # ------------------------------------------------------------------
 
+    @property
+    def write_alloc_count(self) -> int:
+        """Lifetime write-credit acquisitions (lines)."""
+        return self.write_pool.alloc_count
+
+    @property
+    def write_release_count(self) -> int:
+        """Lifetime write-credit releases (lines)."""
+        return self.write_pool.free_count
+
+    @property
+    def read_alloc_count(self) -> int:
+        """Lifetime read-credit acquisitions (lines)."""
+        return self.read_pool.alloc_count
+
+    @property
+    def read_release_count(self) -> int:
+        """Lifetime read-credit releases (lines)."""
+        return self.read_pool.free_count
+
     def has_credit(self, kind: RequestKind, n: int = 1) -> bool:
         """Whether a device may initiate an ``n``-line DMA burst."""
         if kind is RequestKind.WRITE:
-            return self.write_occ.value + n <= self.write_entries
-        return self.read_occ.value + n <= self.read_entries
+            return self.write_pool.has_room(n)
+        return self.read_pool.has_room(n)
+
+    def pool_for(self, kind: RequestKind):
+        """The credit pool backing one DMA direction (waiter target)."""
+        if kind is RequestKind.WRITE:
+            return self.write_pool
+        return self.read_pool
 
     def alloc(self, req: Request) -> None:
         """Allocate IIO entries at DMA initiation time (device side)."""
         now = self._sim.now
         req.t_alloc = now
-        lines = req.lines
         if req.kind is RequestKind.WRITE:
-            self.write_alloc_count += lines
-            self.write_occ.update(now, lines)
+            self.write_pool.acquire(now, req.lines)
         else:
-            self.read_alloc_count += lines
-            self.read_occ.update(now, lines)
+            self.read_pool.acquire(now, req.lines)
 
     def release(self, req: Request) -> None:
-        """Replenish the credit and record the P2M domain latency."""
+        """Replenish the credit and record the P2M domain latency.
+
+        Waiters registered on the pool fire *after* the per-class stat
+        is recorded, so a woken device observes fully-updated state.
+        """
         now = self._sim.now
         req.t_free = now
         traffic_class = req.traffic_class
         lines = req.lines
         if req.kind is RequestKind.WRITE:
-            self.write_release_count += lines
-            self.write_occ.update(now, -lines)
             stat = self._write_latency.get(traffic_class)
             if stat is None:
                 stat = self._hub.latency(f"domain.p2m_write.{traffic_class}")
                 self._write_latency[traffic_class] = stat
             stat.record(now - req.t_alloc, lines)
+            self.write_pool.release_held(now, req.t_alloc, lines)
         else:
-            self.read_release_count += lines
-            self.read_occ.update(now, -lines)
             stat = self._read_latency.get(traffic_class)
             if stat is None:
                 stat = self._hub.latency(f"domain.p2m_read.{traffic_class}")
                 self._read_latency[traffic_class] = stat
             stat.record(now - req.t_alloc, lines)
-        self._notify_waiters()
-
-    def add_credit_waiter(self, callback: Callable[[], None]) -> None:
-        """Register a device callback fired whenever a credit frees."""
-        self._credit_waiters.append(callback)
-
-    def _notify_waiters(self) -> None:
-        for callback in self._credit_waiters:
-            callback()
+            self.read_pool.release_held(now, req.t_alloc, lines)
 
     # ------------------------------------------------------------------
     # Datapath

@@ -14,6 +14,8 @@ rather than the simulated system.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
+import json
 import os
 import tempfile
 from dataclasses import fields
@@ -21,6 +23,11 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: RunResult fields describing the execution, not the simulated system.
 DIAGNOSTIC_FIELDS = frozenset({"sim_wall_s", "events_per_sec", "invariant_checks"})
+
+#: payload fields that cannot be fingerprinted bit-exactly as JSON
+#: (``config`` is a nested dataclass; it is part of the run's identity,
+#: not of its measurements).
+UNFINGERPRINTED_FIELDS = frozenset({"config"})
 
 
 def result_payload(result: Any) -> Dict[str, Any]:
@@ -88,6 +95,153 @@ def differential_point(
             "validated differential run reported no invariant checks"
         )
     return modes
+
+
+# ----------------------------------------------------------------------
+# Cross-commit fingerprints
+#
+# The differential harness above proves execution *mode* never changes
+# results within one build of the simulator. Fingerprints extend the
+# contract across commits: a refactor that must not change simulated
+# behaviour (e.g. moving every credit loop onto the shared CreditPool
+# runtime) captures a baseline before the change and asserts the
+# refactored tree reproduces it bit-for-bit. Floats are encoded with
+# ``float.hex`` so JSON round-trips are exact.
+# ----------------------------------------------------------------------
+
+
+def _encode_exact(value: Any) -> Any:
+    """JSON-safe encoding that keeps floats bit-exact (``float.hex``)."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}
+    if isinstance(value, dict):
+        return {str(k): _encode_exact(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_encode_exact(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # e.g. DomainSnapshot: fingerprint its field values so future
+        # baselines lock the credit-runtime measurements too.
+        return _encode_exact(dataclasses.asdict(value))
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}: {value!r}")
+
+
+def _decode_exact(value: Any) -> Any:
+    """Inverse of :func:`_encode_exact`."""
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            return float.fromhex(value["__float__"])
+        return {k: _decode_exact(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_exact(v) for v in value]
+    return value
+
+
+def result_fingerprint(result: Any) -> Dict[str, Any]:
+    """Bit-exact, JSON-serializable fingerprint of a RunResult.
+
+    Covers every comparable payload field (diagnostics and ``config``
+    excluded) with floats hex-encoded, so a stored fingerprint detects
+    *any* behavioural drift — throughput, latencies, counters — across
+    commits, not just across execution modes.
+    """
+    payload = result_payload(result)
+    return {
+        name: _encode_exact(value)
+        for name, value in payload.items()
+        if name not in UNFINGERPRINTED_FIELDS
+    }
+
+
+def assert_matches_fingerprint(
+    result: Any, baseline: Dict[str, Any], context: str = ""
+) -> None:
+    """Demand ``result`` reproduces a stored fingerprint exactly.
+
+    Only fields recorded in the baseline are compared, so adding *new*
+    RunResult fields (e.g. ``domain_snapshots``) does not invalidate a
+    baseline captured before they existed — existing measurements still
+    must not move.
+    """
+    current = result_fingerprint(result)
+    diffs = []
+    for name, expected in baseline.items():
+        if name not in current:
+            diffs.append(f"  {name}: missing from current result")
+            continue
+        if current[name] != expected:
+            diffs.append(
+                f"  {name}: {_decode_exact(current[name])!r} "
+                f"!= baseline {_decode_exact(expected)!r}"
+            )
+    if diffs:
+        where = f" ({context})" if context else ""
+        raise AssertionError(
+            "\n".join([f"RunResult diverges from stored fingerprint{where}:"]
+                      + diffs[:8])
+        )
+
+
+#: reduced fig03 slice used for the cross-commit fingerprint: two
+#: quadrants (1 = blue regime, 3 = the blue-to-red transition the
+#: paper's §5.2 analysis rests on), small windows. Small enough for
+#: tier-1, rich enough to cover all four credit domains.
+FIG03_FINGERPRINT_SLICE = (
+    (1, (1, 2)),
+    (3, (2,)),
+)
+FIG03_FINGERPRINT_WINDOWS = (3_000.0, 9_000.0)
+
+
+def fig03_fingerprint_points() -> Dict[str, Any]:
+    """Run the reduced fig03 slice; returns ``{label: RunResult}``.
+
+    Uses :meth:`ColocationExperiment.point` directly (no process pool,
+    no run cache) so the fingerprint reflects the simulator alone.
+    """
+    from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
+
+    warmup, measure = FIG03_FINGERPRINT_WINDOWS
+    results: Dict[str, Any] = {}
+    for quadrant, core_counts in FIG03_FINGERPRINT_SLICE:
+        experiment = quadrant_experiment(QUADRANTS[quadrant])
+        for n in core_counts:
+            point = experiment.point(n, warmup, measure)
+            results[f"q{quadrant}.n{n}.c2m_isolated"] = point.c2m_isolated_run
+            results[f"q{quadrant}.n{n}.p2m_isolated"] = point.p2m_isolated_run
+            results[f"q{quadrant}.n{n}.colocated"] = point.colocated
+    return results
+
+
+def fig03_fingerprint() -> Dict[str, Dict[str, Any]]:
+    """Fingerprints for the reduced fig03 slice, keyed by point label."""
+    return {
+        label: result_fingerprint(result)
+        for label, result in fig03_fingerprint_points().items()
+    }
+
+
+def load_fingerprint(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a stored fingerprint file written by ``tools/fig03_check.py``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def assert_fig03_matches(path: str) -> int:
+    """Re-run the fig03 slice and compare against the stored baseline.
+
+    Returns the number of points compared; raises ``AssertionError``
+    on the first divergence.
+    """
+    baseline = load_fingerprint(path)
+    current = fig03_fingerprint_points()
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        raise AssertionError(f"fingerprint baseline has unknown points: {missing}")
+    for label, expected in baseline.items():
+        assert_matches_fingerprint(current[label], expected, context=label)
+    return len(baseline)
 
 
 @contextlib.contextmanager

@@ -8,16 +8,19 @@ the end of the window, walks every layer:
 * **engine** — clock monotone and finite, heap property intact,
   fast-path vs cancellable-path dispatch equivalence (a scripted
   self-test run once at install);
-* **credit domains** — LFB and IIO pool occupancy within ``[0, C]``
-  and *credit conservation*: credits freed equal credits acquired net
-  of the occupancy drift across the window;
-* **queues** — RPQ/WPQ occupancy within capacity, occupancy counters
-  agreeing with the scheduler's own counts, per-bank FIFO contents
-  reconciling with queue counts, CHA ingress/stage/backlog accounting;
+* **credit pools** — every pool registered with the host's
+  :class:`~repro.sim.credit.DomainTracker` (per-core LFBs, IIO
+  buffers, CHA stages, RPQ/WPQ) through one uniform probe: occupancy
+  within ``[0, C]`` (soft pools: ``>= 0``), reservations non-negative
+  and within capacity, and *credit conservation* — credits freed
+  equal credits acquired net of the occupancy drift across the window;
+* **queues** — per-bank FIFO contents reconciling with the RPQ/WPQ
+  pools, CHA ingress/stage/backlog accounting;
 * **telemetry** — Little's-law latency (``L = O / R``, §4.2) from
-  occupancy counters agreeing with direct per-request timestamps
-  within a tolerance, and the paper's throughput bound
-  ``T <= C * 64 / L`` restated as ``R * L <= C``.
+  occupancy integrals agreeing with each pool's credit-hold
+  timestamps within a tolerance, and the paper's throughput bound
+  ``T <= C * 64 / L`` checked per pool (rate form ``R * L <= C``)
+  and per Fig. 5 domain snapshot (``T * L / (C * 64) <= 1``).
 
 Structural identities are exact; statistical identities use
 ``REPRO_VALIDATE_TOL`` (default 0.25) and require ``MIN_SAMPLES``
@@ -71,21 +74,17 @@ class Validator:
         self.checks_passed += 1
 
     def begin_window(self, host: "Host") -> None:
-        """Snapshot credit-event counters at the window start."""
+        """Snapshot credit-event counters at the window start.
+
+        One uniform walk over every pool the host's DomainTracker
+        knows (LFBs, IIO buffers, CHA stages, RPQ/WPQ).
+        """
         self._t0 = self._now = host.sim.now
         snap = self._snapshot = {}
-        for core in host.cores:
-            lfb = core.lfb
-            snap[f"core{core.core_id}.alloc"] = lfb.alloc_count
-            snap[f"core{core.core_id}.free"] = lfb.free_count
-            snap[f"core{core.core_id}.occ"] = lfb.in_use
-        iio = host.iio
-        snap["iio.write.alloc"] = iio.write_alloc_count
-        snap["iio.write.release"] = iio.write_release_count
-        snap["iio.write.occ"] = iio.write_occ.value
-        snap["iio.read.alloc"] = iio.read_alloc_count
-        snap["iio.read.release"] = iio.read_release_count
-        snap["iio.read.occ"] = iio.read_occ.value
+        for pool in host.domains.pools():
+            snap[f"{pool.name}.alloc"] = pool.alloc_count
+            snap[f"{pool.name}.free"] = pool.free_count
+            snap[f"{pool.name}.occ"] = pool.occ.value
 
     def end_window(self, host: "Host") -> int:
         """Run every probe; returns the cumulative checks-passed count.
@@ -99,6 +98,7 @@ class Validator:
         self.check_channels(host)
         self.check_pcie(host)
         self.check_littles_law(host)
+        self.check_domains(host)
         return self.checks_passed
 
     # ------------------------------------------------------------------
@@ -152,25 +152,49 @@ class Validator:
         verify_heap(sim)
         self.checks_passed += 1
 
-    def _check_pool(
-        self,
-        component: str,
-        value: int,
-        capacity: int,
-        allocs: int,
-        frees: int,
-        occ_start: float,
-    ) -> None:
+    def _check_pool(self, pool) -> None:
+        """Bounds, reservation sanity and conservation for one pool."""
+        name = pool.name
+        value = pool.occ.value
+        if pool.capacity is not None and not pool.soft:
+            self._require(
+                0 <= value <= pool.capacity,
+                name,
+                "occupancy-bounds",
+                f"occupancy {value} outside [0, {pool.capacity}]",
+            )
+            self._require(
+                value + pool.reserved <= pool.capacity,
+                name,
+                "admission-capacity",
+                "admitted + reserved exceeds pool capacity",
+                value=value,
+                reserved=pool.reserved,
+                capacity=pool.capacity,
+            )
+        else:
+            # Soft pools (CHA stages): the capacity is an admission
+            # threshold only — DDIO eviction writebacks legitimately
+            # overshoot it — so only non-negativity is structural.
+            self._require(
+                value >= 0,
+                name,
+                "occupancy-bounds",
+                f"negative occupancy {value}",
+            )
         self._require(
-            0 <= value <= capacity,
-            component,
-            "occupancy-bounds",
-            f"occupancy {value} outside [0, {capacity}]",
+            pool.reserved >= 0,
+            name,
+            "reservation-bounds",
+            f"negative in-transit reservation count {pool.reserved}",
         )
-        drift = value - occ_start
+        snap = self._snapshot
+        allocs = pool.alloc_count - int(snap.get(f"{name}.alloc", 0))
+        frees = pool.free_count - int(snap.get(f"{name}.free", 0))
+        drift = value - snap.get(f"{name}.occ", 0)
         self._require(
             allocs - frees == drift,
-            component,
+            name,
             "credit-conservation",
             "credits freed != credits acquired net of occupancy drift",
             acquired=allocs,
@@ -179,37 +203,10 @@ class Validator:
         )
 
     def check_credit_pools(self, host: "Host") -> None:
-        """LFB and IIO pools: bounds + per-window credit conservation."""
+        """Every tracked pool: bounds + per-window credit conservation."""
         self._now = host.sim.now
-        snap = self._snapshot
-        for core in host.cores:
-            lfb = core.lfb
-            key = f"core{core.core_id}"
-            self._check_pool(
-                f"{key}.lfb",
-                lfb.in_use,
-                lfb.size,
-                lfb.alloc_count - int(snap.get(f"{key}.alloc", 0)),
-                lfb.free_count - int(snap.get(f"{key}.free", 0)),
-                snap.get(f"{key}.occ", 0),
-            )
-        iio = host.iio
-        self._check_pool(
-            "iio.write",
-            iio.write_occ.value,
-            iio.write_entries,
-            iio.write_alloc_count - int(snap.get("iio.write.alloc", 0)),
-            iio.write_release_count - int(snap.get("iio.write.release", 0)),
-            snap.get("iio.write.occ", 0),
-        )
-        self._check_pool(
-            "iio.read",
-            iio.read_occ.value,
-            iio.read_entries,
-            iio.read_alloc_count - int(snap.get("iio.read.alloc", 0)),
-            iio.read_release_count - int(snap.get("iio.read.release", 0)),
-            snap.get("iio.read.occ", 0),
-        )
+        for pool in host.domains.pools():
+            self._check_pool(pool)
 
     def check_cha(self, host: "Host") -> None:
         """CHA ingress / stage / backlog accounting."""
@@ -222,18 +219,6 @@ class Validator:
             "ingress occupancy counter disagrees with the FCFS queue",
             counter=cha.ingress_occ.value,
             queue=cha.admission_queue_lines,
-        )
-        self._require(
-            cha.read_stage.value >= 0,
-            "cha.read_stage",
-            "occupancy-bounds",
-            f"negative read-stage occupancy {cha.read_stage.value}",
-        )
-        self._require(
-            cha.write_waiting.value >= 0,
-            "cha.write_stage",
-            "occupancy-bounds",
-            f"negative write-stage occupancy {cha.write_waiting.value}",
         )
         self._require(
             cha.read_stage.value >= cha.read_backlog_len,
@@ -253,48 +238,15 @@ class Validator:
         )
 
     def check_channels(self, host: "Host") -> None:
-        """Per-channel RPQ/WPQ capacity and bank-FIFO reconciliation."""
+        """Per-channel bank-FIFO reconciliation with the queue pools.
+
+        The RPQ/WPQ pools themselves (bounds, reservations,
+        conservation) are covered by the uniform pool walk of
+        :meth:`check_credit_pools`.
+        """
         self._now = host.sim.now
         for channel in host.mc.channels:
             name = f"mc.ch{channel.channel_id}"
-            self._require(
-                0 <= channel.rpq_count <= channel.rpq_size,
-                f"{name}.rpq",
-                "occupancy-bounds",
-                f"RPQ count {channel.rpq_count} outside [0, {channel.rpq_size}]",
-            )
-            self._require(
-                0 <= channel.wpq_count <= channel.wpq_size,
-                f"{name}.wpq",
-                "occupancy-bounds",
-                f"WPQ count {channel.wpq_count} outside [0, {channel.wpq_size}]",
-            )
-            self._require(
-                channel.rpq_reserved >= 0 and channel.wpq_reserved >= 0,
-                name,
-                "reservation-bounds",
-                "negative in-transit reservation count",
-                rpq_reserved=channel.rpq_reserved,
-                wpq_reserved=channel.wpq_reserved,
-            )
-            self._require(
-                channel.rpq_count + channel.rpq_reserved <= channel.rpq_size
-                and channel.wpq_count + channel.wpq_reserved <= channel.wpq_size,
-                name,
-                "admission-capacity",
-                "admitted + reserved exceeds queue capacity",
-                rpq=(channel.rpq_count, channel.rpq_reserved, channel.rpq_size),
-                wpq=(channel.wpq_count, channel.wpq_reserved, channel.wpq_size),
-            )
-            self._require(
-                channel.rpq_occ.value == channel.rpq_count
-                and channel.wpq_occ.value == channel.wpq_count,
-                name,
-                "occupancy-accounting",
-                "occupancy counters disagree with scheduler counts",
-                rpq=(channel.rpq_occ.value, channel.rpq_count),
-                wpq=(channel.wpq_occ.value, channel.wpq_count),
-            )
             bank_reads, bank_writes = channel.queued_in_banks()
             in_flight_reads = channel.rpq_count - bank_reads
             in_flight_writes = channel.wpq_count - bank_writes
@@ -380,60 +332,86 @@ class Validator:
         )
 
     def check_littles_law(self, host: "Host") -> None:
-        """Cross-check occupancy counters against direct timestamps."""
+        """Cross-check occupancy integrals against credit-hold times.
+
+        Every pool accumulates its own hold-time stats (``L``) via
+        ``release_held``, covering exactly the population that fed the
+        occupancy integral — loads, RFO stores *and* non-temporal
+        stores for the LFB; every DMA direction for the IIO — so the
+        two sides of ``L = O / R`` are matched by construction.
+        """
         now = host.sim.now
         self._now = now
         elapsed = now - self._t0
-        hub = host.hub
 
-        # LFB, per traffic class. The lfb.total stat covers loads and
-        # RFO stores but not non-temporal stores (which bypass the
-        # read path), so only check classes whose completion count
-        # matches the stat's sample count — otherwise the occupancy
-        # integral covers a larger population than the timestamps.
+        # LFBs aggregated per traffic class (the granularity the
+        # paper's uncore counters report at).
         by_class: Dict[str, Dict[str, float]] = {}
         for core in host.cores:
             tc = core.workload.traffic_class
             slot = by_class.setdefault(
-                tc, {"occ": 0.0, "capacity": 0.0, "completions": 0}
+                tc, {"occ": 0.0, "capacity": 0.0, "total": 0.0, "count": 0}
             )
             slot["occ"] += core.lfb.average_occupancy(now)
             slot["capacity"] += core.lfb.size
-            slot["completions"] += core.reads_completed + core.stores_completed
+            slot["total"] += core.lfb.latency.total
+            slot["count"] += core.lfb.latency.count
         for tc, slot in by_class.items():
-            stat = hub._latencies.get(f"lfb.total.{tc}")
-            if stat is None or stat.count != slot["completions"]:
+            if slot["count"] == 0:
                 continue
             self._check_littles_law_pool(
                 f"lfb.{tc}",
                 slot["occ"],
                 slot["capacity"],
+                int(slot["count"]),
+                slot["total"] / slot["count"],
+                elapsed,
+            )
+
+        # IIO pools: hold-time stats aggregate over traffic classes.
+        iio = host.iio
+        for pool in (iio.write_pool, iio.read_pool):
+            stat = pool.latency
+            if stat.count == 0:
+                continue
+            self._check_littles_law_pool(
+                pool.name,
+                pool.average(now),
+                pool.capacity,
                 stat.count,
                 stat.average,
                 elapsed,
             )
 
-        # IIO pools: every release records a domain latency, so the
-        # populations match by construction; pool stats aggregate over
-        # traffic classes.
-        iio = host.iio
-        for pool, occ, capacity, prefix in (
-            ("iio.write", iio.write_occ, iio.write_entries, "domain.p2m_write."),
-            ("iio.read", iio.read_occ, iio.read_entries, "domain.p2m_read."),
-        ):
-            total = 0.0
-            count = 0
-            for name, stat in hub._latencies.items():
-                if name.startswith(prefix):
-                    total += stat.total
-                    count += stat.count
-            if count == 0:
+    def check_domains(self, host: "Host") -> None:
+        """The paper's bound on each live Fig. 5 domain snapshot.
+
+        Every :class:`~repro.sim.credit.DomainSnapshot` must satisfy
+        ``T <= C * 64 / L`` — stated as the bound utilization
+        ``T * L / (C * 64) <= 1`` — within tolerance, whenever the
+        domain measured enough completions for L to be stable.
+        """
+        now = host.sim.now
+        self._now = now
+        elapsed = now - self._t0
+        if elapsed <= 0:
+            return
+        for kind in host.domains.kinds:
+            snapshot = host.domains.snapshot(kind, now, elapsed)
+            if (
+                snapshot.completions < self.min_samples
+                or snapshot.latency_ns <= 0
+                or snapshot.credits <= 0
+            ):
                 continue
-            self._check_littles_law_pool(
-                pool,
-                occ.average(now),
-                capacity,
-                count,
-                total / count,
-                elapsed,
+            self._require(
+                snapshot.bound_utilization <= 1.0 + self.tolerance,
+                f"domain.{snapshot.kind}",
+                "throughput-bound",
+                "domain throughput exceeds the credit bound T <= C * 64 / L",
+                utilization=round(snapshot.bound_utilization, 4),
+                throughput_bytes_per_ns=round(snapshot.throughput_bytes_per_ns, 4),
+                bound_bytes_per_ns=round(snapshot.bound_bytes_per_ns, 4),
+                credits=snapshot.credits,
+                latency_ns=round(snapshot.latency_ns, 3),
             )

@@ -1,7 +1,5 @@
 """Chaos harness: deterministic injection, and sweeps surviving it."""
 
-import os
-
 import pytest
 
 from repro.experiments import chaos, runcache

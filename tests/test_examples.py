@@ -32,11 +32,13 @@ class TestExamples:
 
     def test_domain_calculator(self, capsys):
         module = load_example("domain_calculator")
+        module.WARMUP_NS, module.MEASURE_NS = 3_000.0, 9_000.0
         module.main()
         out = capsys.readouterr().out
         assert "T <= C x 64 / L" in out
         assert "spare" in out
         assert "c2m-readwrite" in out
+        assert "saturated" in out
 
     def test_rdma_backpressure(self, capsys):
         module = load_example("rdma_backpressure")

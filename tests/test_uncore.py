@@ -199,11 +199,51 @@ class TestIio:
     def test_credit_waiters_notified(self):
         sim, hub, iio = self.make_iio()
         notified = []
-        iio.add_credit_waiter(lambda: notified.append(1))
+        iio.read_pool.add_waiter(lambda: notified.append(1))
         req = request(RequestKind.READ, source=RequestSource.P2M)
         iio.alloc(req)
         iio.release(req)
         assert notified == [1]
+        # One-shot semantics: a later release must not re-fire it.
+        req2 = request(RequestKind.READ, source=RequestSource.P2M)
+        iio.alloc(req2)
+        iio.release(req2)
+        assert notified == [1]
+
+    def test_credit_waiters_served_in_registration_order(self):
+        """Fairness regression: FIFO wakeups, not broadcast."""
+        sim, hub, iio = self.make_iio()
+        order = []
+        for i in range(5):
+            iio.write_pool.add_waiter(lambda i=i: order.append(i))
+        assert iio.write_pool.waiter_count == 5
+        req = request(RequestKind.WRITE, source=RequestSource.P2M)
+        iio.alloc(req)
+        iio.release(req)
+        assert order == [0, 1, 2, 3, 4]
+        assert iio.write_pool.waiter_count == 0
+
+    def test_waiter_reregistration_waits_for_next_release(self):
+        """A still-blocked waiter re-registering from its callback is
+        deferred to the *next* release (no same-release spin)."""
+        sim, hub, iio = self.make_iio()
+        fired = []
+        pool = iio.write_pool
+
+        def waiter():
+            fired.append(sim.now)
+            pool.add_waiter(waiter)
+
+        pool.add_waiter(waiter)
+        req = request(RequestKind.WRITE, source=RequestSource.P2M)
+        iio.alloc(req)
+        iio.release(req)
+        assert len(fired) == 1
+        assert pool.waiter_count == 1
+        req2 = request(RequestKind.WRITE, source=RequestSource.P2M)
+        iio.alloc(req2)
+        iio.release(req2)
+        assert len(fired) == 2
 
     def test_rejects_c2m_traffic(self):
         sim, hub, iio = self.make_iio()

@@ -119,7 +119,7 @@ class TestSeededCorruption:
 
     def test_queue_count_tamper_detected(self):
         host = self._run_validated()
-        host.mc.channels[0]._rpq_count += 1
+        host.mc.channels[0].rpq_pool.occ.value += 1
         with pytest.raises(InvariantViolation) as excinfo:
             host._validator.end_window(host)
         assert "mc.ch0" in str(excinfo.value)

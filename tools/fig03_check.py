@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Cross-commit fig03 fingerprint gate.
+
+``python tools/fig03_check.py`` re-runs the reduced fig03 slice
+(quadrants 1 and 3, small windows; see
+``repro.validate.harness.FIG03_FINGERPRINT_SLICE``) and compares every
+RunResult field bit-for-bit against the committed baseline
+``tests/data/fig03_fingerprint.json``. A refactor that claims to be
+behaviour-preserving must leave this gate green.
+
+``python tools/fig03_check.py --write`` refreshes the baseline — only
+do this for changes that are *supposed* to alter simulated behaviour,
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "data", "fig03_fingerprint.json"
+)
+
+
+def main() -> int:
+    # The fingerprint is the exact per-line simulation: pin the knobs
+    # that legitimately change results so ad-hoc environments cannot
+    # fail (or trivially pass) the gate.
+    os.environ["REPRO_BURST"] = "1"
+    os.environ.pop("REPRO_VALIDATE", None)
+    os.environ.pop("REPRO_CHAOS", None)
+
+    from repro.validate.harness import assert_fig03_matches, fig03_fingerprint
+
+    if "--write" in sys.argv[1:]:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        baseline = fig03_fingerprint()
+        with open(BASELINE, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"fig03 fingerprint: wrote {len(baseline)} points to {BASELINE}")
+        return 0
+
+    if not os.path.exists(BASELINE):
+        print(f"fig03 fingerprint: no baseline at {BASELINE}; run with --write")
+        return 1
+    compared = assert_fig03_matches(BASELINE)
+    print(f"fig03 fingerprint: {compared} points bit-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

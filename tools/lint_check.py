@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Repo-wide lint gate with a stdlib fallback.
+
+Preferred path: ``ruff check`` at the pinned version (``RUFF_PIN``,
+mirrored by ``required-version`` in ``pyproject.toml``) over the whole
+tree, using the minimal rule set configured there — syntax errors and
+the F-class correctness rules (unused/redefined/undefined names), not
+style.
+
+The dev container does not ship ruff and installing dependencies is
+not an option everywhere this runs, so when the pinned ruff is absent
+the gate degrades to a built-in subset lint (stdlib only):
+
+1. **byte-compile** every checked file (catches E9 syntax errors);
+2. **unused module-level imports** (F401-lite): an imported name that
+   never appears again anywhere in the file. Occurrence checking is
+   textual, so string-typed annotations and doctests count as uses —
+   conservative by design: the fallback must never flag code the real
+   ruff accepts. ``__init__.py`` re-export files are skipped;
+3. **duplicate definitions** (F811-lite): a plain (undecorated)
+   function/class defined twice in the same scope; decorated defs are
+   skipped so ``@property``/``@x.setter`` pairs and ``@overload``
+   stacks don't false-positive.
+
+Exit status 0 = clean; 1 = findings (each printed with file:line).
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src", "tests", "benchmarks", "tools", "examples")
+
+#: the pinned ruff version (keep in sync with pyproject.toml's
+#: ``[tool.ruff] required-version``).
+RUFF_PIN = "0.5.7"
+
+
+def checked_files() -> list[Path]:
+    files: list[Path] = []
+    for d in CHECKED_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    return [f for f in files if "__pycache__" not in f.parts]
+
+
+# ----------------------------------------------------------------------
+# Preferred path: pinned ruff
+# ----------------------------------------------------------------------
+
+
+def ruff_version() -> str | None:
+    """The installed ruff's version string, or None if unavailable."""
+    exe = shutil.which("ruff")
+    if exe is None:
+        return None
+    try:
+        out = subprocess.run(
+            [exe, "--version"], capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    match = re.search(r"(\d+\.\d+\.\d+)", out.stdout)
+    return match.group(1) if match else None
+
+
+def run_ruff() -> int:
+    """``ruff check`` over the tree with the pyproject config."""
+    cmd = ["ruff", "check", *CHECKED_DIRS]
+    print(f"lint_check: ruff {RUFF_PIN}: {' '.join(cmd)}")
+    return subprocess.run(cmd, cwd=REPO).returncode
+
+
+# ----------------------------------------------------------------------
+# Fallback: stdlib subset lint
+# ----------------------------------------------------------------------
+
+
+def compile_check(path: Path, problems: list[str]) -> ast.Module | None:
+    """Byte-compile + parse; returns the AST or records the error."""
+    try:
+        py_compile.compile(str(path), doraise=True, cfile=None)
+    except py_compile.PyCompileError as exc:
+        problems.append(f"{path.relative_to(REPO)}: syntax error: {exc.msg}")
+        return None
+    try:
+        return ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - compile caught it
+        problems.append(f"{path.relative_to(REPO)}:{exc.lineno}: {exc.msg}")
+        return None
+
+
+def _imported_names(tree: ast.Module) -> list[tuple[str, int, str]]:
+    """Module-level ``(bound_name, lineno, described)`` import bindings."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                out.append((bound, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out.append((bound, node.lineno, alias.name))
+    return out
+
+
+def unused_import_check(path: Path, tree: ast.Module, problems: list[str]) -> None:
+    if path.name == "__init__.py":
+        return  # re-export modules bind names for importers, not themselves
+    source = path.read_text()
+    lines = source.splitlines()
+    for bound, lineno, described in _imported_names(tree):
+        if bound == "annotations" and described == "annotations":
+            continue  # from __future__ import annotations
+        line = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        if "noqa" in line:
+            continue
+        # Textual occurrence outside the import statement itself: a
+        # word-boundary match anywhere (annotations, docstrings,
+        # f-strings) counts as a use — conservative on purpose.
+        occurrences = [
+            m
+            for m in re.finditer(rf"\b{re.escape(bound)}\b", source)
+            if source.count("\n", 0, m.start()) + 1 != lineno
+        ]
+        if not occurrences:
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: "
+                f"unused import: {described!r} (bound as {bound!r})"
+            )
+
+
+def duplicate_def_check(path: Path, tree: ast.Module, problems: list[str]) -> None:
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.Module, ast.ClassDef)):
+            continue
+        seen: dict[str, int] = {}
+        for node in getattr(scope, "body", []):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if getattr(node, "decorator_list", None):
+                    continue  # property/setter & overload stacks
+                if node.name in seen:
+                    problems.append(
+                        f"{path.relative_to(REPO)}:{node.lineno}: "
+                        f"duplicate definition of {node.name!r} "
+                        f"(first at line {seen[node.name]})"
+                    )
+                seen[node.name] = node.lineno
+
+
+def run_fallback() -> int:
+    print(
+        f"lint_check: ruff {RUFF_PIN} not available "
+        "(pip install is not an option in this environment); "
+        "running the built-in subset lint."
+    )
+    problems: list[str] = []
+    files = checked_files()
+    for path in files:
+        tree = compile_check(path, problems)
+        if tree is None:
+            continue
+        unused_import_check(path, tree, problems)
+        duplicate_def_check(path, tree, problems)
+    if problems:
+        print(f"lint_check: {len(problems)} finding(s) in {len(files)} files:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"lint_check: OK ({len(files)} files clean)")
+    return 0
+
+
+def main() -> int:
+    installed = ruff_version()
+    if installed == RUFF_PIN:
+        return run_ruff()
+    if installed is not None:
+        print(
+            f"lint_check: installed ruff {installed} != pinned {RUFF_PIN}; "
+            "using the built-in subset lint for determinism."
+        )
+    return run_fallback()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
