@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-fast perf-check check chaos py310-check lint fig03-check
+.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos py310-check lint fig03-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -26,6 +26,20 @@ bench-fast:
 # REPRO_PERF_CHECK=off skips, REPRO_PERF_TOL widens).
 perf-check:
 	$(PYTHON) tools/perf_check.py
+
+# Kernel perf tier: the DRAM-traffic window (the SoA channel kernel's
+# target workload, also covered by the perf gate) plus a cold-serial
+# fig03 wall-clock timing — the end-to-end number the kernel exists to
+# improve. Skipped, like the perf gate, with REPRO_PERF_CHECK=off.
+bench-kernel:
+	@case "$${REPRO_PERF_CHECK:-on}" in \
+	off|0|no|false) echo "bench-kernel: skipped (REPRO_PERF_CHECK=off)";; \
+	*) mkdir -p benchmarks/out && \
+		$(PYTHON) -m pytest -q benchmarks/bench_engine.py --benchmark-only \
+			-k dram --benchmark-json=benchmarks/out/bench_kernel.json && \
+		REPRO_JOBS=1 REPRO_CACHE_DIR=$$(mktemp -d) \
+			$(PYTHON) tools/fig03_check.py --time;; \
+	esac
 
 # Python-version-floor gate (requires-python = ">=3.10"): 3.11+-API
 # lint, plus byte-compile + validated smoke under a real 3.10 when one
@@ -58,11 +72,12 @@ chaos:
 # (REPRO_JOBS=2) against a cold cache — once plain and once with
 # runtime invariant checking (REPRO_VALIDATE=1), which must pass with
 # zero violations — the fig03 bit-exactness gate, the engine perf
-# gate, and the chaos tier.
+# gate, the kernel perf tier, and the chaos tier.
 check: py310-check lint
 	$(PYTHON) -m pytest -x -q tests/
 	$(PYTHON) tools/fig03_check.py
 	$(PYTHON) tools/perf_check.py
+	$(MAKE) bench-kernel
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
 	REPRO_VALIDATE=1 REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 \

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.dram.address import AddressMapper
 from repro.dram.bank import Bank
+from repro.dram.kernel import ChannelKernel, kernel_enabled
 from repro.dram.timing import DramTiming
 from repro.sim.engine import Simulator
 from repro.sim.records import (
@@ -119,7 +120,7 @@ class Channel:
         self.p2m_write_priority = p2m_write_priority
         self.banks: List[Bank] = [Bank(sim, self, b, timing) for b in range(n_banks)]
         self.mode: RequestKind = RequestKind.READ
-        self.stats = ChannelStats()
+        self._stats = ChannelStats()
         self.bank_sampler = BankLoadSampler(n_banks, bank_sample_every)
         self._busy_until = 0.0
         self._admit_seq = 0
@@ -128,13 +129,39 @@ class Channel:
         self._wpq_full_time = 0.0
         self._window_start = 0.0
         self._pump_event = None
+        # Lines sitting in the per-bank FIFOs, maintained incrementally
+        # (reference path; the kernel keeps its own pair).
+        self._queued_read_lines = 0
+        self._queued_write_lines = 0
         # Wired by the host: invoked when queue space frees up.
         self.on_rpq_space: Optional[Callable[[int], None]] = None
         self.on_wpq_space: Optional[Callable[[int], None]] = None
+        #: SoA batch scheduler (REPRO_KERNEL, default on). When active
+        #: it owns the bank FIFOs and all hot counters; the admission
+        #: entry points are rebound to its fused implementations so the
+        #: CHA pays zero delegation overhead per request.
+        self.kernel: Optional[ChannelKernel] = None
+        if kernel_enabled():
+            self.kernel = kernel = ChannelKernel(self)
+            self.enqueue_read = kernel.enqueue_read
+            self.enqueue_write = kernel.enqueue_write
 
     # ------------------------------------------------------------------
     # Admission (called by the CHA)
     # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Window counters, materialized from the kernel when active.
+
+        The kernel accumulates into flat arrays on the hot path;
+        reading this property syncs them into the dict-shaped
+        :class:`ChannelStats` (a window-boundary-rate operation).
+        """
+        kernel = self.kernel
+        if kernel is not None:
+            kernel.sync_stats(self._stats)
+        return self._stats
 
     @property
     def rpq_size(self) -> int:
@@ -206,6 +233,7 @@ class Channel:
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
         req.t_queue_admit = now
+        self._queued_read_lines += lines
         self.banks[req.bank_id].enqueue(req)
         self._schedule_pump(now)
 
@@ -219,6 +247,7 @@ class Channel:
         self._admit_seq += 1
         req.queue_seq = self._admit_seq
         req.t_queue_admit = now
+        self._queued_write_lines += lines
         self.banks[req.bank_id].enqueue(req)
         if req.on_complete is not None:
             req.on_complete(req)
@@ -236,7 +265,7 @@ class Channel:
         what the per-line simulation of a sequential burst would record
         as row hits.
         """
-        stats = self.stats
+        stats = self._stats
         key = (req.traffic_class, req.kind.value, req.row_outcome)
         stats.class_row_outcomes[key] += 1
         if req.lines > 1:
@@ -247,13 +276,13 @@ class Channel:
     def count_prep_ops(self, req: Request, conflict: bool) -> None:
         """Count an ACT (and PRE on conflict) for the formula inputs."""
         if req.kind is RequestKind.READ:
-            self.stats.act_read += 1
+            self._stats.act_read += 1
             if conflict:
-                self.stats.pre_conflict_read += 1
+                self._stats.pre_conflict_read += 1
         else:
-            self.stats.act_write += 1
+            self._stats.act_write += 1
             if conflict:
-                self.stats.pre_conflict_write += 1
+                self._stats.pre_conflict_write += 1
 
     def notify_bank_ready(self) -> None:
         """A bank finished preparing a head request; try to transmit."""
@@ -332,11 +361,11 @@ class Channel:
         self.mode = target
         if target is RequestKind.READ:
             turnaround = self.timing.t_wtr
-            self.stats.switches_wtr += 1
+            self._stats.switches_wtr += 1
         else:
             turnaround = self.timing.t_rtw
-            self.stats.switches_rtw += 1
-        self.stats.turnaround_time += turnaround
+            self._stats.switches_rtw += 1
+        self._stats.turnaround_time += turnaround
         self._busy_until = now + turnaround
         self._served_in_mode = 0
         # Bank preparation overlaps the turnaround.
@@ -390,13 +419,15 @@ class Channel:
             req.row_outcome = "hit"
             self.count_row_outcome(req)
         bank.pop_head(req)
-        stats = self.stats
+        stats = self._stats
         if req.kind is RequestKind.READ:
+            self._queued_read_lines -= lines
             stats.lines_read += lines
             stats.class_lines_read[req.traffic_class] += lines
             stats.busy_read_time += t_burst
             self.bank_sampler.record(req.bank_id)
         else:
+            self._queued_write_lines -= lines
             stats.lines_written += lines
             stats.class_lines_written[req.traffic_class] += lines
             stats.busy_write_time += t_burst
@@ -460,14 +491,31 @@ class Channel:
         transmit is in flight — the queue-accounting identity checked
         by :mod:`repro.validate`. Counted in cachelines so burst-mode
         macro-requests reconcile with the lines-weighted queue counts.
+
+        Incrementally maintained (no per-call container walk); the
+        validator cross-checks the cache against
+        :meth:`walk_queued_lines`.
         """
+        kernel = self.kernel
+        if kernel is not None:
+            return kernel.queued_read_lines, kernel.queued_write_lines
+        return self._queued_read_lines, self._queued_write_lines
+
+    def walk_queued_lines(self) -> tuple:
+        """Recount the bank FIFOs directly (validator cross-check)."""
+        kernel = self.kernel
+        if kernel is not None:
+            return kernel.walk_queued_lines()
         reads = sum(req.lines for bank in self.banks for req in bank.read_q)
         writes = sum(req.lines for bank in self.banks for req in bank.write_q)
         return reads, writes
 
     def reset_stats(self, now: float) -> None:
         """Start a fresh measurement window for this channel."""
-        self.stats.reset()
+        self._stats.reset()
+        kernel = self.kernel
+        if kernel is not None:
+            kernel.reset_window()
         self.bank_sampler.reset(now)
         self._wpq_full_time = 0.0
         self._window_start = now

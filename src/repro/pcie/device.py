@@ -33,9 +33,18 @@ from repro.sim.records import (
 from repro.telemetry.counters import CounterHub
 from repro.uncore.iio import IIO
 
+_INF = float("inf")
+
 
 class DmaWorkload:
     """Protocol for device-side demand (subclassed by NVMe/NIC models)."""
+
+    #: capability hints: a workload that can *never* produce demand in
+    #: one direction sets the flag False so the device skips that
+    #: direction's pump loop entirely (an empty-handed pump pass reads
+    #: no mutable state, so skipping it is observationally identical).
+    emits_writes = True
+    emits_reads = True
 
     def next_write(self, now: float) -> Optional[int]:
         """Next line address to DMA-write, or None if none pending."""
@@ -66,6 +75,8 @@ class SequentialDmaWorkload(DmaWorkload):
     def __init__(self, region: Region, kind: RequestKind):
         self.region = region
         self.kind = kind
+        self.emits_writes = kind is RequestKind.WRITE
+        self.emits_reads = kind is RequestKind.READ
         self._pos = 0
         self.lines_done = 0
 
@@ -162,11 +173,13 @@ class DmaDevice:
         self._pump()
 
     def _pump(self) -> None:
-        next_at = min(
-            self._pump_writes(),
-            self._pump_reads(),
-        )
-        if next_at != float("inf"):
+        workload = self.workload
+        next_at = self._pump_writes() if workload.emits_writes else _INF
+        if workload.emits_reads:
+            at_read = self._pump_reads()
+            if at_read < next_at:
+                next_at = at_read
+        if next_at != _INF:
             self._schedule_pump(next_at)
 
     def _pace(self) -> float:

@@ -42,6 +42,9 @@ class NicWorkload(DmaWorkload):
         self.buffer_lines = max(1, buffer_bytes // CACHELINE_BYTES)
         self.pfc_enabled = pfc_enabled
         self.egress_enabled = egress_enabled
+        # Ingress writes are always possible; egress reads only when
+        # enabled (the device then skips the read pump entirely).
+        self.emits_reads = egress_enabled
         self.pause_hi = max(1, int(self.buffer_lines * pause_threshold))
         self.pause_lo = max(0, int(self.buffer_lines * resume_threshold))
         self._write_pos = 0

@@ -39,6 +39,8 @@ class NvmeWorkload(DmaWorkload):
         self.lines_per_io = io_size_bytes // CACHELINE_BYTES
         self.queue_depth = queue_depth
         self.kind = kind
+        self.emits_writes = kind is RequestKind.WRITE
+        self.emits_reads = kind is RequestKind.READ
         self.t_io_gap = t_io_gap
         self._pos = 0
         self._inflight_ios = 0

@@ -97,6 +97,7 @@ class Request:
         "tag",
         "queue_seq",
         "lines",
+        "cls_id",
     )
 
     def __init__(
@@ -140,6 +141,9 @@ class Request:
         # burst factor for REPRO_BURST macro-requests. Every counter
         # and credit update is weighted by it.
         self.lines = 1
+        # Interned traffic-class id, assigned by the SoA channel kernel
+        # at MC admission (dram/kernel.py). -1 = not yet interned.
+        self.cls_id = -1
 
     @property
     def is_read(self) -> bool:

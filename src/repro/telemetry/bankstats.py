@@ -36,29 +36,36 @@ class BankLoadSampler:
             raise ValueError("sample_every must be positive")
         self.n_banks = n_banks
         self.sample_every = sample_every
-        self._counts = [0] * n_banks
-        self._seen = 0
+        #: per-bank request counts for the sample in progress. Public
+        #: (and zeroed *in place*) so the SoA channel kernel can inline
+        #: :meth:`record` while holding a direct reference to the list.
+        self.counts = [0] * n_banks
+        self.seen = 0
         self.deviations: List[float] = []
 
     def record(self, bank_id: int) -> None:
         """Record one request mapped to ``bank_id``."""
-        self._counts[bank_id] += 1
-        self._seen += 1
-        if self._seen >= self.sample_every:
+        self.counts[bank_id] += 1
+        self.seen += 1
+        if self.seen >= self.sample_every:
             self._flush()
 
     def _flush(self) -> None:
-        total = sum(self._counts)
+        counts = self.counts
+        total = sum(counts)
         if total > 0:
             mean = total / self.n_banks
-            self.deviations.append(max(self._counts) / mean)
-        self._counts = [0] * self.n_banks
-        self._seen = 0
+            self.deviations.append(max(counts) / mean)
+        for b in range(self.n_banks):
+            counts[b] = 0
+        self.seen = 0
 
     def reset(self, now: float = 0.0) -> None:
         """Drop partial counts and collected samples."""
-        self._counts = [0] * self.n_banks
-        self._seen = 0
+        counts = self.counts
+        for b in range(self.n_banks):
+            counts[b] = 0
+        self.seen = 0
         self.deviations = []
 
     def fraction_at_least(self, threshold: float) -> float:

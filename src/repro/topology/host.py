@@ -25,7 +25,7 @@ from repro.pcie.link import PcieLink
 from repro.pcie.nic import Nic
 from repro.pcie.nvme import NvmeDevice
 from repro.sim.credit import DomainSnapshot, DomainTracker
-from repro.sim.engine import Simulator
+from repro.sim.engine import make_simulator
 from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
 from repro.telemetry.counters import CounterHub
 from repro.topology.presets import HostConfig
@@ -173,7 +173,7 @@ class Host:
         #: runtime invariant checking (repro.validate): ``None``
         #: defers to the ``REPRO_VALIDATE`` environment knob.
         self.validate = validate_enabled() if validate is None else bool(validate)
-        self.sim = ValidatingSimulator() if self.validate else Simulator()
+        self.sim = ValidatingSimulator() if self.validate else make_simulator()
         self._validator: Optional[Validator] = Validator() if self.validate else None
         self.hub = CounterHub()
         self._rng = random.Random(seed)

@@ -67,6 +67,9 @@ class CHA:
         self.llc = llc
         self.ddio_enabled = ddio_enabled
         n_channels = len(mc.channels)
+        # Prebound: the channel list and per-channel admission methods
+        # are hit once per request; skip the mc attribute walk.
+        self._channels = mc.channels
         self._ingress: Deque[Tuple[Request, float]] = deque()
         self._read_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
         self._write_backlog: list[Deque[Request]] = [deque() for _ in range(n_channels)]
@@ -117,6 +120,22 @@ class CHA:
     def request_admission(self, req: Request) -> None:
         """A request arrives at the CHA (from a core or the IIO)."""
         now = self._sim.now
+        if not self._ingress:
+            # Empty ingress and a free stage: admission is synchronous,
+            # so skip the queue round-trip. The occupancy pulse (+n
+            # then -n at the same instant) is kept so the counter's
+            # integral and high-water mark stay identical to the
+            # queued path.
+            if req.kind is RequestKind.READ:
+                room = self.read_stage.has_room(req.lines)
+            else:
+                room = self.write_waiting.has_room(req.lines)
+            if room:
+                occ_update = self.ingress_occ.update
+                occ_update(now, req.lines)
+                occ_update(now, -req.lines)
+                self._admit(req, now)
+                return
         self._ingress.append((req, now))
         self.ingress_occ.update(now, req.lines)
         self._pump_ingress()
@@ -171,7 +190,7 @@ class CHA:
         self.read_stage.acquire(now, lines)
         self._inflight_reads[req.source].update(now, lines)
         req.on_serviced = self._on_read_serviced
-        channel = self._mc.channels[req.channel_id]
+        channel = self._channels[req.channel_id]
         if channel.can_accept_read(lines):
             channel.reserve_read(lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_read, req)
@@ -179,9 +198,17 @@ class CHA:
             self._read_backlog[req.channel_id].append(req)
 
     def _deliver_read(self, req: Request) -> None:
-        self.read_stage.release(self._sim.now, req.lines)
-        self._mc.channels[req.channel_id].enqueue_read(req)
-        self._pump_ingress()
+        # CreditPool.release, inlined (the read stage has no waiters
+        # registered, but the drain check is kept for exactness).
+        lines = req.lines
+        pool = self.read_stage
+        pool.free_count += lines
+        pool._occ_update(self._sim.now, -lines)
+        if pool._waiters:
+            pool._drain_waiters()
+        self._channels[req.channel_id].enqueue_read(req)
+        if self._ingress:
+            self._pump_ingress()
 
     def _complete_llc_read(self, req: Request) -> None:
         """Serve a read from the LLC (no memory traversal)."""
@@ -204,7 +231,9 @@ class CHA:
 
     def _on_rpq_space(self, channel_id: int) -> None:
         backlog = self._read_backlog[channel_id]
-        channel = self._mc.channels[channel_id]
+        if not backlog:
+            return
+        channel = self._channels[channel_id]
         while backlog and channel.can_accept_read(backlog[0].lines):
             req = backlog.popleft()
             channel.reserve_read(req.lines)
@@ -238,7 +267,7 @@ class CHA:
                 return
         lines = req.lines
         self.write_waiting.acquire(now, lines)
-        channel = self._mc.channels[req.channel_id]
+        channel = self._channels[req.channel_id]
         if channel.can_accept_write(lines):
             channel.reserve_write(lines)
             self._sim.schedule(self.t_cha_to_mc, self._deliver_write, req)
@@ -248,16 +277,23 @@ class CHA:
     def _deliver_write(self, req: Request) -> None:
         now = self._sim.now
         traffic_class = req.traffic_class
-        self.write_waiting.release(now, req.lines)
+        lines = req.lines
+        # CreditPool.release, inlined (hot: every memory write).
+        pool = self.write_waiting
+        pool.free_count += lines
+        pool._occ_update(now, -lines)
+        if pool._waiters:
+            pool._drain_waiters()
         latency = now - req.t_cha_admit
         stat = self._write_latency.get(traffic_class)
         if stat is None:
             self._class_stats(traffic_class)
             stat = self._write_latency[traffic_class]
-        stat.record(latency, req.lines)
-        self._mc.channels[req.channel_id].enqueue_write(req)
-        self._completion_rates[traffic_class].increment(req.lines)
-        self._pump_ingress()
+        stat.record(latency, lines)
+        self._channels[req.channel_id].enqueue_write(req)
+        self._completion_rates[traffic_class].increment(lines)
+        if self._ingress:
+            self._pump_ingress()
 
     def _complete_ddio_write(self, req: Request) -> None:
         req.t_queue_admit = self._sim.now  # domain ends at the LLC
@@ -301,7 +337,9 @@ class CHA:
 
     def _on_wpq_space(self, channel_id: int) -> None:
         backlog = self._write_backlog[channel_id]
-        channel = self._mc.channels[channel_id]
+        if not backlog:
+            return
+        channel = self._channels[channel_id]
         moved = False
         while backlog and channel.can_accept_write(backlog[0].lines):
             req = backlog.popleft()

@@ -236,12 +236,63 @@ def verify_heap(sim: Simulator) -> int:
                     f"heap property violated at index {parent}",
                     details={"parent": time, "child": heap[child]},
                 )
-    if n != len(buckets) or len(set(heap)) != n or set(heap) != set(buckets):
+    # A WheelSimulator splits the instant index: near-future instants
+    # live in wheel slots (each a mini-heap), far-future ones in the
+    # overflow heap checked above. Gather both halves before the
+    # index/bucket synchronisation check.
+    wheel = getattr(sim, "_wheel", None)
+    if wheel is None:
+        instants = heap
+    else:
+        instants = list(heap)
+        n_slots = sim._n_slots
+        inv = sim._inv_width
+        cursor = sim._cursor
+        in_wheel = 0
+        for pos, slot in enumerate(wheel):
+            m = len(slot)
+            for parent in range(m):
+                time = slot[parent]
+                for child in (2 * parent + 1, 2 * parent + 2):
+                    if child < m and slot[child] < time:
+                        raise InvariantViolation(
+                            "engine",
+                            "wheel-slot-order",
+                            f"slot {pos} heap property violated at {parent}",
+                            details={"parent": time, "child": slot[child]},
+                        )
+                idx = int(time * inv)
+                if idx % n_slots != pos or not cursor <= idx < cursor + n_slots:
+                    raise InvariantViolation(
+                        "engine",
+                        "wheel-slot-membership",
+                        f"instant t={time} filed in the wrong slot",
+                        details={"slot": pos, "idx": idx, "cursor": cursor},
+                    )
+            in_wheel += m
+            instants.extend(slot)
+        if in_wheel != sim._n_wheel:
+            raise InvariantViolation(
+                "engine",
+                "wheel-count",
+                "wheel instant counter disagrees with a slot walk",
+                details={"counter": sim._n_wheel, "walk": in_wheel},
+            )
+        for time in heap:
+            if int(time * inv) < cursor:
+                raise InvariantViolation(
+                    "engine",
+                    "wheel-overflow-order",
+                    f"overflow instant t={time} is behind the cursor",
+                    details={"cursor": cursor},
+                )
+        n = len(instants)
+    if n != len(buckets) or len(set(instants)) != n or set(instants) != set(buckets):
         raise InvariantViolation(
             "engine",
             "heap-bucket-sync",
-            "pending instants in the heap disagree with the buckets",
-            details={"heap": n, "buckets": len(buckets)},
+            "pending instants in the index disagree with the buckets",
+            details={"index": n, "buckets": len(buckets)},
         )
     total = 0
     live = 0

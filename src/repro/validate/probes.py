@@ -248,6 +248,32 @@ class Validator:
         for channel in host.mc.channels:
             name = f"mc.ch{channel.channel_id}"
             bank_reads, bank_writes = channel.queued_in_banks()
+            # queued_in_banks() is an incrementally maintained cache;
+            # recount the FIFOs directly so a drifted counter cannot
+            # hide behind its own bookkeeping.
+            walk = channel.walk_queued_lines()
+            self._require(
+                walk == (bank_reads, bank_writes),
+                name,
+                "queue-count-cache",
+                "cached queued-lines counters drifted from the bank FIFOs",
+                cached=(bank_reads, bank_writes),
+                walk=walk,
+            )
+            kernel = channel.kernel
+            if kernel is not None:
+                # SoA kernel: head caches and open-row match sets must
+                # agree exactly with the FIFO contents and bank arrays.
+                try:
+                    kernel.verify_consistency()
+                except AssertionError as exc:
+                    raise InvariantViolation(
+                        name,
+                        "kernel-consistency",
+                        str(exc),
+                        window=self._window,
+                    ) from None
+                self.checks_passed += 1
             in_flight_reads = channel.rpq_count - bank_reads
             in_flight_writes = channel.wpq_count - bank_writes
             # At most one request has been popped for transmit but not

@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    Event,
+    Simulator,
+    WheelSimulator,
+    make_simulator,
+    wheel_enabled,
+)
 
 
 def test_schedule_and_run_until_executes_in_order():
@@ -284,3 +290,112 @@ def test_run_max_events_still_raises_with_live_remainder():
         sim.schedule(float(i + 1), lambda: None)
     with pytest.raises(RuntimeError):
         sim.run(max_events=5)
+
+
+# ---------------------------------------------------------------------------
+# Calendar-queue (time-wheel) instant index: REPRO_WHEEL / WheelSimulator
+# ---------------------------------------------------------------------------
+
+
+class TestWheelSimulator:
+    """The wheel is an alternative *instant index* over the same
+    buckets, so dispatch order, the processed counter and the clock
+    trajectory must be bit-identical to the binary-heap index."""
+
+    def _drive(self, sim):
+        import random
+
+        order = []
+        rng = random.Random(11)
+        handles = []
+
+        def cb(i):
+            order.append((sim.now, i))
+            if rng.random() < 0.3:
+                sim.schedule(
+                    rng.choice([0.0, 0.63, 15.0, 33.0, 1500.0]), cb, 10_000 + i
+                )
+            if rng.random() < 0.1 and handles:
+                handles.pop(rng.randrange(len(handles))).cancel()
+
+        for i in range(400):
+            d = rng.choice([0.0, 0.2, 0.63, 1.0, 10.0, 33.0, 250.0, 5000.0])
+            if i % 7 == 0:
+                handles.append(sim.schedule_cancellable(d, cb, i))
+            elif i % 11 == 0:
+                sim.schedule_many(d, cb, [(i,), (i + 1,), (i + 2,)])
+            else:
+                sim.schedule(d, cb, i)
+        sim.run_until(40.0)
+        sim._drain_limited(200.0, 97)  # budgeted drain mid-stream
+        sim.run_until(600.0)
+        sim.run()
+        return order, sim.events_processed, sim.now
+
+    def test_dispatch_identical_to_heap(self):
+        assert self._drive(Simulator()) == self._drive(WheelSimulator())
+
+    def test_dispatch_identical_with_tiny_horizon(self):
+        """A 64-slot, quarter-ns wheel forces constant overflow to the
+        fallback heap, lazy migration and cursor jumps — the order must
+        still match."""
+        assert self._drive(Simulator()) == self._drive(
+            WheelSimulator(slot_width=0.25, n_slots=64)
+        )
+
+    def test_far_future_overflow_round_trip(self):
+        sim = WheelSimulator(slot_width=0.5, n_slots=16)
+        fired = []
+        sim.schedule(1e6, fired.append, "far")
+        sim.schedule(1.0, fired.append, "near")
+        assert len(sim._heap) == 1  # far instant parked in the overflow heap
+        sim.run()
+        assert fired == ["near", "far"]
+        assert sim._n_wheel == 0 and not sim._heap
+
+    def test_run_until_advances_cursor(self):
+        sim = WheelSimulator(slot_width=0.5, n_slots=16)
+        sim.run_until(1000.0)
+        assert sim._cursor == 2000
+        sim.schedule(0.5, lambda: None)  # lands in the wheel, not overflow
+        assert sim._n_wheel == 1 and not sim._heap
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WheelSimulator(slot_width=0.0)
+        with pytest.raises(ValueError):
+            WheelSimulator(n_slots=1)
+
+    def test_run_max_events_guard_clears_wheel(self):
+        sim = WheelSimulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        for _ in range(3):
+            sim.schedule_cancellable(100.0, fired.append, "never").cancel()
+        sim.run(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.pending == 0 and sim._n_wheel == 0
+
+
+class TestWheelKnob:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WHEEL", raising=False)
+        assert wheel_enabled() is False
+        assert type(make_simulator()) is Simulator
+
+    @pytest.mark.parametrize("raw", ["on", "1", "yes", "true"])
+    def test_enabled_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WHEEL", raw)
+        assert wheel_enabled() is True
+        assert type(make_simulator()) is WheelSimulator
+
+    @pytest.mark.parametrize("raw", ["off", "0", "no", "false", ""])
+    def test_disabled_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WHEEL", raw)
+        assert wheel_enabled() is False
+
+    def test_invalid_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHEEL", "maybe")
+        with pytest.raises(ValueError, match="REPRO_WHEEL"):
+            wheel_enabled()

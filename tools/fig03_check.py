@@ -11,6 +11,10 @@ behaviour-preserving must leave this gate green.
 ``python tools/fig03_check.py --write`` refreshes the baseline — only
 do this for changes that are *supposed* to alter simulated behaviour,
 and say so in the commit message.
+
+``--time`` additionally reports the sweep's wall-clock seconds; the
+``make bench-kernel`` tier runs it cold-serial (``REPRO_JOBS=1``,
+fresh cache dir) to track the end-to-end fig03 cost over time.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -48,8 +53,12 @@ def main() -> int:
     if not os.path.exists(BASELINE):
         print(f"fig03 fingerprint: no baseline at {BASELINE}; run with --write")
         return 1
+    t0 = time.perf_counter()
     compared = assert_fig03_matches(BASELINE)
+    elapsed = time.perf_counter() - t0
     print(f"fig03 fingerprint: {compared} points bit-identical to baseline")
+    if "--time" in sys.argv[1:]:
+        print(f"fig03 sweep wall-clock: {elapsed:.2f}s")
     return 0
 
 
