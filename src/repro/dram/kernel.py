@@ -231,6 +231,8 @@ class ChannelKernel:
         sim = self._sim
         now = sim.now
         lines = req.lines
+        # CreditPool.commit, inlined — pinned to the canonical method
+        # by tests/test_credit.py::TestInlinedFastPaths.
         pool = self.rpq_pool
         pool.reserved -= lines
         pool.alloc_count += lines
@@ -260,6 +262,8 @@ class ChannelKernel:
         sim = self._sim
         now = sim.now
         lines = req.lines
+        # CreditPool.commit, inlined — pinned to the canonical method
+        # by tests/test_credit.py::TestInlinedFastPaths.
         pool = self.wpq_pool
         pool.reserved -= lines
         pool.alloc_count += lines
@@ -489,7 +493,8 @@ class ChannelKernel:
         self.s_lines_read += lines
         self.cls_lines_read[req.cls_id] += lines
         self.s_busy_read += t_burst
-        # Bank-load sampling, inlined (BankLoadSampler.record).
+        # Bank-load sampling, inlined (BankLoadSampler.record) — pinned
+        # by tests/test_credit.py::TestInlinedFastPaths.
         sampler = self.sampler
         self.samp_counts[b] += 1
         seen = sampler.seen + 1
@@ -541,6 +546,8 @@ class ChannelKernel:
         now = sim.now
         req.t_service = now
         lines = req.lines
+        # CreditPool.release, inlined — pinned to the canonical method
+        # by tests/test_credit.py::TestInlinedFastPaths.
         pool = self.rpq_pool
         pool.free_count += lines
         pool._occ_update(now, -lines)
@@ -564,6 +571,8 @@ class ChannelKernel:
         now = sim.now
         req.t_service = now
         lines = req.lines
+        # CreditPool.release, inlined — pinned to the canonical method
+        # by tests/test_credit.py::TestInlinedFastPaths.
         pool = self.wpq_pool
         pool.free_count += lines
         pool._occ_update(now, -lines)

@@ -490,7 +490,15 @@ class WheelSimulator(Simulator):
     slot-sharing invariant (at most one *logical* slot index resident
     per physical slot) holds because the cursor is monotone and an
     instant is only filed into the wheel while it is inside the
-    current horizon.
+    current horizon — with one deliberate exception: between drain
+    windows the cursor can sit past the slot of a still-schedulable
+    instant (a drain scans empty slots up to the next pending instant
+    before discovering it lies beyond ``t_end``, and ``run_until``
+    parks the cursor at ``t_end``'s slot). :meth:`_file_instant`
+    clamps such a *behind-cursor* filing into the cursor slot itself;
+    every other pending instant lives in a strictly later logical
+    slot, so the slot min-heap still surfaces the clamped instant
+    first and dispatch order is preserved.
     """
 
     __slots__ = ("_wheel", "_n_slots", "_inv_width", "_cursor", "_n_wheel")
@@ -514,11 +522,25 @@ class WheelSimulator(Simulator):
         """Register a newly-pending instant in the wheel (or, beyond
         the horizon, in the overflow heap)."""
         idx = int(time * self._inv_width)
-        if idx - self._cursor < self._n_slots:
+        off = idx - self._cursor
+        if 0 <= off < self._n_slots:
             heappush(self._wheel[idx % self._n_slots], time)
-            self._n_wheel += 1
+        elif off < 0:
+            # Behind the drain front. The cursor can legitimately sit
+            # past this instant's slot between windows (see the class
+            # docstring), and filing into ``idx``'s own physical slot
+            # would park the instant behind the cursor until the wheel
+            # wraps — dispatching it after later-timed events. Clamp it
+            # into the *cursor* slot instead: all other pending wheel
+            # instants occupy strictly later logical slots (times in
+            # later slot windows) and the overflow heap is further out
+            # still, so the slot min-heap pops this instant first and
+            # order is preserved.
+            heappush(self._wheel[self._cursor % self._n_slots], time)
         else:
             heappush(self._heap, time)
+            return
+        self._n_wheel += 1
 
     def _file(self, time: float, entry) -> None:
         buckets = self._buckets

@@ -200,6 +200,8 @@ class CHA:
     def _deliver_read(self, req: Request) -> None:
         # CreditPool.release, inlined (the read stage has no waiters
         # registered, but the drain check is kept for exactness).
+        # Pinned to the canonical method by
+        # tests/test_credit.py::TestInlinedFastPaths.
         lines = req.lines
         pool = self.read_stage
         pool.free_count += lines
@@ -278,7 +280,9 @@ class CHA:
         now = self._sim.now
         traffic_class = req.traffic_class
         lines = req.lines
-        # CreditPool.release, inlined (hot: every memory write).
+        # CreditPool.release, inlined (hot: every memory write). Pinned
+        # to the canonical method by
+        # tests/test_credit.py::TestInlinedFastPaths.
         pool = self.write_waiting
         pool.free_count += lines
         pool._occ_update(now, -lines)

@@ -262,7 +262,21 @@ def verify_heap(sim: Simulator) -> int:
                             details={"parent": time, "child": slot[child]},
                         )
                 idx = int(time * inv)
-                if idx % n_slots != pos or not cursor <= idx < cursor + n_slots:
+                if idx < cursor:
+                    # Behind-cursor instants are clamped into the
+                    # cursor slot at filing time (see
+                    # WheelSimulator._file_instant) so they surface
+                    # before every later logical slot; anywhere else
+                    # they would dispatch out of order.
+                    if pos != cursor % n_slots:
+                        raise InvariantViolation(
+                            "engine",
+                            "wheel-slot-membership",
+                            f"behind-cursor instant t={time} not in the"
+                            " cursor slot",
+                            details={"slot": pos, "idx": idx, "cursor": cursor},
+                        )
+                elif idx % n_slots != pos or idx >= cursor + n_slots:
                     raise InvariantViolation(
                         "engine",
                         "wheel-slot-membership",

@@ -151,6 +151,87 @@ class TestWaiters:
         assert fires == [0, 1]
 
 
+class TestInlinedFastPaths:
+    """Pin the hand-inlined CreditPool/BankLoadSampler copies to the
+    canonical methods.
+
+    The hot paths in ``uncore/cha.py`` (``_deliver_read`` /
+    ``_deliver_write``) and ``dram/kernel.py`` (``enqueue_read`` /
+    ``enqueue_write`` / ``_on_transmit_done_*`` / ``_transmit_read``)
+    inline ``CreditPool.release``, ``CreditPool.commit`` and
+    ``BankLoadSampler.record`` statement-for-statement. These tests
+    replay the *exact inlined statement sequences* next to the
+    canonical method calls and assert identical observable state — so
+    any future change to the canonical semantics (say, ``release``
+    growing latency recording the way ``release_held`` has it) fails
+    here and points at the inline sites that must be updated in
+    lockstep.
+    """
+
+    @staticmethod
+    def _pool_state(pool):
+        return (
+            pool.occ.value,
+            pool.occ.average(99.0),
+            pool.free_count,
+            pool.alloc_count,
+            pool.reserved,
+            pool.waiter_count,
+        )
+
+    def test_inlined_release_matches_canonical(self):
+        canonical, inlined = make_pool(), make_pool()
+        fired = []
+        for tag, pool in (("canonical", canonical), ("inlined", inlined)):
+            pool.acquire(0.0, 3)
+            pool.add_waiter(lambda tag=tag: fired.append(tag))
+        canonical.release(1.0, 3)
+        # The inlined recipe, verbatim from cha._deliver_read/_deliver_write
+        # and kernel._on_transmit_done_read/_on_transmit_done_write:
+        lines = 3
+        pool = inlined
+        pool.free_count += lines
+        pool._occ_update(1.0, -lines)
+        if pool._waiters:
+            pool._drain_waiters()
+        assert self._pool_state(inlined) == self._pool_state(canonical)
+        assert fired == ["canonical", "inlined"]
+
+    def test_inlined_commit_matches_canonical(self):
+        canonical, inlined = make_pool(), make_pool()
+        for pool in (canonical, inlined):
+            pool.reserve(2)
+        canonical.commit(1.0, 2)
+        # The inlined recipe, verbatim from kernel.enqueue_read/enqueue_write:
+        lines = 2
+        pool = inlined
+        pool.reserved -= lines
+        pool.alloc_count += lines
+        pool._occ_update(1.0, lines)
+        assert self._pool_state(inlined) == self._pool_state(canonical)
+
+    def test_inlined_sampler_record_matches_canonical(self):
+        from repro.telemetry.bankstats import BankLoadSampler
+
+        canonical = BankLoadSampler(n_banks=4, sample_every=3)
+        inlined = BankLoadSampler(n_banks=4, sample_every=3)
+        samp_counts = inlined.counts  # kernel holds a direct reference
+        samp_every = inlined.sample_every
+        for b in (0, 0, 1, 2, 2, 2, 3):
+            canonical.record(b)
+            # The inlined recipe, verbatim from kernel._transmit_read:
+            sampler = inlined
+            samp_counts[b] += 1
+            seen = sampler.seen + 1
+            if seen >= samp_every:
+                sampler._flush()
+            else:
+                sampler.seen = seen
+        assert inlined.counts == canonical.counts
+        assert inlined.seen == canonical.seen
+        assert inlined.deviations == canonical.deviations
+
+
 class TestWeightedConservation:
     """REPRO_BURST moves ``lines`` credits per call; conservation must
     hold line-for-line across all four pool families, with runtime

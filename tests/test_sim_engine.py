@@ -366,6 +366,73 @@ class TestWheelSimulator:
         with pytest.raises(ValueError):
             WheelSimulator(n_slots=1)
 
+    def test_filing_into_scanned_gap_between_windows(self):
+        """Regression: a drain scans empty slots up to a far-future
+        in-wheel instant before discovering it lies beyond ``t_end``,
+        parking the cursor way past the window. An instant filed
+        *between* windows into that scanned gap must still dispatch in
+        time order (it used to be misfiled behind the cursor and fire
+        only after the wheel wrapped, clock running backwards)."""
+
+        def drive(sim):
+            fired = []
+            cb = lambda t: fired.append((sim.now, t))
+            sim.schedule_at(500.0, cb, 500.0)  # in-wheel, far slot
+            sim.run_until(10.0)  # scan parks the cursor at 500's slot
+            sim.schedule_at(20.0, cb, 20.0)  # files into the gap
+            sim.run_until(600.0)
+            return fired, sim.now, sim.events_processed
+
+        fired, now, _ = drive(WheelSimulator())
+        assert fired == [(20.0, 20.0), (500.0, 500.0)]
+        assert now == 600.0
+        assert drive(WheelSimulator()) == drive(Simulator())
+
+    def test_filing_behind_cursor_after_run(self):
+        """Same family as the scanned-gap regression, via :meth:`run`:
+        a completed drain leaves the cursor one past the last
+        dispatched slot while ``now`` is still mid-slot, so a new
+        instant in that same slot lands behind the cursor."""
+        sim = WheelSimulator(slot_width=0.5, n_slots=16)
+        fired = []
+        sim.schedule_at(0.1, fired.append, 0.1)
+        sim.run()  # cursor parked one past slot 0, now == 0.1
+        sim.schedule_at(0.2, fired.append, 0.2)  # slot the cursor passed
+        sim.schedule_at(5.0, fired.append, 5.0)
+        sim.run()
+        assert fired == [0.1, 0.2, 5.0]
+
+    @pytest.mark.parametrize(
+        "make_wheel",
+        [WheelSimulator, lambda: WheelSimulator(slot_width=0.25, n_slots=64)],
+        ids=["default", "tiny-horizon"],
+    )
+    def test_dispatch_identical_with_between_window_filing(self, make_wheel):
+        """Randomized differential over interleaved schedule/run_until
+        windows — the pattern the up-front ``_drive`` harness misses:
+        every window can park the cursor ahead of instants that are
+        filed afterwards."""
+        import random
+
+        def drive(sim):
+            rng = random.Random(7)
+            order = []
+
+            def cb(i):
+                order.append((sim.now, i))
+
+            k = 0
+            for _ in range(60):
+                for _ in range(rng.randrange(4)):
+                    d = rng.choice([0.0, 0.4, 3.0, 40.0, 700.0, 3000.0])
+                    sim.schedule(d, cb, k)
+                    k += 1
+                sim.run_until(sim.now + rng.choice([0.3, 2.0, 25.0, 400.0]))
+            sim.run()
+            return order, sim.events_processed, sim.now
+
+        assert drive(Simulator()) == drive(make_wheel())
+
     def test_run_max_events_guard_clears_wheel(self):
         sim = WheelSimulator()
         fired = []

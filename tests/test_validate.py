@@ -256,6 +256,27 @@ class TestValidatingSimulator:
         with pytest.raises(InvariantViolation, match="wheel-slot-membership"):
             verify_heap(sim)
 
+    def test_verify_heap_accepts_clamped_behind_cursor_instant(self):
+        """A behind-cursor instant is clamped into the cursor slot by
+        WheelSimulator._file_instant; verify_heap must accept it there
+        and flag it anywhere else."""
+        from repro.sim.engine import WheelSimulator
+
+        sim = WheelSimulator()  # default geometry: 0.5 ns x 2048 slots
+        sim.schedule_at(500.0, lambda: None)
+        sim.run_until(10.0)  # scan parks the cursor at 500's slot
+        sim.schedule_at(20.0, lambda: None)  # behind the cursor: clamped
+        assert sim._cursor > int(20.0 * sim._inv_width)
+        assert verify_heap(sim) == 2
+        # Move the clamped instant to its "natural" slot — the exact
+        # misfile the clamp prevents — and expect a violation.
+        slot = sim._wheel[sim._cursor % sim._n_slots]
+        slot.remove(20.0)
+        heapq.heapify(slot)
+        sim._wheel[int(20.0 * sim._inv_width) % sim._n_slots].append(20.0)
+        with pytest.raises(InvariantViolation, match="wheel-slot-membership"):
+            verify_heap(sim)
+
     def test_verify_heap_detects_wheel_count_drift(self):
         from repro.sim.engine import WheelSimulator
 
