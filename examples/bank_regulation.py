@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Per-bank bandwidth regulation taming a hot-bank aggressor.
+
+Four sequential-read cores (victims) share a Cascade Lake host with an
+open-loop DMA read stream cycling a 512 KB buffer — small enough that
+a handful of DRAM banks hold a standing backlog. The aggressor's
+backlog soaks up scheduling slots, fattening the bank-deviation CDF
+tail (Fig. 7d) and inflating the victims' row-miss ratio.
+
+Per-bank token buckets (``bank_reg_enabled``, 20% of the channel line
+rate per bank, burst 4 lines) cap the hot banks, shrinking both — at
+no cost to the aggressor, whose device-limited rate sits far below its
+aggregate cap.
+
+Run:  python examples/bank_regulation.py
+"""
+
+from repro.experiments.bankreg import (
+    TAIL_THRESHOLDS,
+    BankRegSpec,
+    BankRegSummary,
+    run_comparison,
+)
+from repro.experiments.reporting import render_table
+
+SPEC = BankRegSpec()
+
+
+def main() -> None:
+    comparison = run_comparison(SPEC)
+    summary = BankRegSummary.from_comparison(comparison)
+
+    rows = [
+        [f"P(dev >= {t:g})", summary.tail_baseline[t], summary.tail_regulated[t]]
+        for t in TAIL_THRESHOLDS
+    ]
+    rows.append(
+        ["row-miss inflation", summary.inflation_baseline, summary.inflation_regulated]
+    )
+    rows.append(
+        ["victim bw (GB/s)", summary.victim_bw_baseline, summary.victim_bw_regulated]
+    )
+    rows.append(["hog bw (GB/s)", summary.hog_bw_baseline, summary.hog_bw_regulated])
+    print(
+        render_table(
+            "Hot-bank aggressor: baseline vs per-bank regulation",
+            ["metric", "baseline", "regulated"],
+            rows,
+        )
+    )
+
+    tail = max(TAIL_THRESHOLDS[:-1])
+    shrink = summary.tail_baseline[tail] / max(summary.tail_regulated[tail], 1e-9)
+    print(
+        f"\nRegulation shrinks the P(dev >= {tail:g}) tail {shrink:.1f}x and "
+        f"cuts row-miss inflation from {summary.inflation_baseline:.2f}x to "
+        f"{summary.inflation_regulated:.2f}x over the victims-only floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

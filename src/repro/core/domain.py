@@ -1,6 +1,7 @@
 """Domains and their credit/latency/throughput algebra (§4.1).
 
-The four bottleneck domains of Fig. 5:
+The four bottleneck domains of Fig. 5, plus the DDIO slice the paper's
+§2.1 analysis motivates (promoted to a measurable domain here):
 
 ========== ============== ============================ ================
 Domain     Span           Credit pool                  Credit freed at
@@ -9,7 +10,15 @@ C2M-Read   LFB -> DRAM    LFB (10-12 / core)           data at core
 C2M-Write  LFB -> CHA     LFB (10-12 / core)           CHA admission
 P2M-Read   IIO -> DRAM    IIO read buffer (>164)       completion issue
 P2M-Write  IIO -> MC      IIO write buffer (~92)       WPQ admission
+LLC-DDIO   LLC DMA slice  DDIO ways (sets*ddio_ways)   line eviction
 ========== ============== ============================ ================
+
+The LLC-DDIO domain only exists when the host runs with DDIO enabled
+(``llc_mode="full"`` + ``ddio_enabled`` or ``REPRO_DDIO=1``): each
+DMA-tagged line in the cache holds one credit from install (or
+core-line conversion) until eviction, so C is the slice capacity in
+cachelines, L the DMA-line residency time, and the ``T·L/(C·64)``
+bound measures how hard DMA traffic thrashes the slice.
 """
 
 from __future__ import annotations
@@ -22,12 +31,13 @@ from repro.sim.records import CACHELINE_BYTES
 
 
 class DomainKind(enum.Enum):
-    """The four bottleneck domains of the host network (Fig. 5)."""
+    """The bottleneck domains of the host network (Fig. 5 + DDIO)."""
 
     C2M_READ = "c2m_read"
     C2M_WRITE = "c2m_write"
     P2M_READ = "p2m_read"
     P2M_WRITE = "p2m_write"
+    LLC_DDIO = "llc.ddio"
 
     @property
     def includes_dram(self) -> bool:
@@ -42,8 +52,10 @@ class DomainKind(enum.Enum):
     @property
     def includes_mc(self) -> bool:
         """Whether WPQ admission is inside the domain (P2M-Write is the
-        asymmetric case the red regime turns on, §5.2)."""
-        return self is not DomainKind.C2M_WRITE
+        asymmetric case the red regime turns on, §5.2). The LLC-DDIO
+        domain lives entirely inside the cache: its credits turn over
+        at line eviction, before any memory-controller queue."""
+        return self not in (DomainKind.C2M_WRITE, DomainKind.LLC_DDIO)
 
 
 def throughput_bound(credits: float, latency_ns: float) -> float:

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 from repro.dram.address import AddressMapper
 from repro.dram.bank import Bank
 from repro.dram.kernel import ChannelKernel, kernel_enabled
+from repro.dram.regulator import BankRegulator
 from repro.dram.timing import DramTiming
 from repro.sim.engine import Simulator
 from repro.sim.records import (
@@ -99,6 +100,7 @@ class Channel:
         min_read_batch: int = 96,
         p2m_write_priority: bool = False,
         bank_sample_every: int = 1000,
+        bank_reg: Optional[BankRegulator] = None,
     ):
         timing.validate()
         self._sim = sim
@@ -122,6 +124,11 @@ class Channel:
         self.mode: RequestKind = RequestKind.READ
         self._stats = ChannelStats()
         self.bank_sampler = BankLoadSampler(n_banks, bank_sample_every)
+        #: per-bank token-bucket regulation (None = unregulated). The
+        #: scheduler skips token-blocked banks and re-arms the pump at
+        #: the earliest bucket-refill time when nothing else is ready.
+        self.bank_reg = bank_reg
+        self._reg_retry: Optional[float] = None
         self._busy_until = 0.0
         self._admit_seq = 0
         self._served_in_mode = 0
@@ -333,6 +340,10 @@ class Channel:
         ready = self._pick_ready(RequestKind.READ)
         if ready is not None:
             self._transmit(ready)
+        elif self._reg_retry is not None:
+            # Every otherwise-ready bank is token-blocked; re-arm the
+            # pump at the earliest bucket refill.
+            self._schedule_pump(self._reg_retry)
         # else: the head banks are preparing; their completions re-pump.
 
     def _pump_write_mode(self) -> None:
@@ -354,6 +365,8 @@ class Channel:
         ready = self._pick_ready(RequestKind.WRITE)
         if ready is not None:
             self._transmit(ready)
+        elif self._reg_retry is not None:
+            self._schedule_pump(self._reg_retry)
         # else: bounded wait for the write bank preparation in flight.
 
     def _switch_mode(self, target: RequestKind) -> None:
@@ -385,18 +398,26 @@ class Channel:
         now = self._sim.now
         best: Optional[Request] = None
         best_p2m: Optional[Request] = None
+        reg = self.bank_reg
+        retry: Optional[float] = None
         for bank in self.banks:
             queue = bank.read_q if kind is RequestKind.READ else bank.write_q
             if not queue:
                 continue
             head = queue[0]
             if now >= bank.busy_until and bank.open_row == head.row_id:
+                if reg is not None and not reg.ready(bank.bank_id, now, head.lines):
+                    t = reg.next_ready(bank.bank_id, now, head.lines)
+                    if retry is None or t < retry:
+                        retry = t
+                    continue
                 if best is None or head.queue_seq < best.queue_seq:
                     best = head
                 if head.source is RequestSource.P2M and (
                     best_p2m is None or head.queue_seq < best_p2m.queue_seq
                 ):
                     best_p2m = head
+        self._reg_retry = retry
         if (
             self.p2m_write_priority
             and kind is RequestKind.WRITE
@@ -411,6 +432,8 @@ class Channel:
         lines = req.lines
         t_burst = timing.t_trans if lines == 1 else timing.t_trans * lines
         self._busy_until = now + t_burst
+        if self.bank_reg is not None:
+            self.bank_reg.consume(req.bank_id, now, lines)
         bank = self.banks[req.bank_id]
         if req.row_outcome is None:
             # Served with its row already open and no PRE/ACT of its
@@ -516,7 +539,7 @@ class Channel:
         kernel = self.kernel
         if kernel is not None:
             kernel.reset_window()
-        self.bank_sampler.reset(now)
+        self.bank_sampler.reset()
         self._wpq_full_time = 0.0
         self._window_start = now
         if self._wpq_full_since is not None:
@@ -543,6 +566,9 @@ class MemoryController:
         p2m_write_priority: bool = False,
         xor_bank_hash: bool = True,
         bank_sample_every: int = 1000,
+        bank_reg_rate: Optional[float] = None,
+        bank_reg_burst_lines: int = 64,
+        bank_partition_classes: int = 0,
     ):
         self.mapper = AddressMapper(
             n_channels=n_channels,
@@ -566,15 +592,37 @@ class MemoryController:
                 min_read_batch=min_read_batch,
                 p2m_write_priority=p2m_write_priority,
                 bank_sample_every=bank_sample_every,
+                bank_reg=(
+                    BankRegulator(n_banks, bank_reg_rate, bank_reg_burst_lines)
+                    if bank_reg_rate is not None
+                    else None
+                ),
             )
             for i in range(n_channels)
         ]
+        #: bank partitioning by traffic class ("Per-Bank Memory
+        #: Bandwidth Regulation", PAPERS.md): with N partitions, each
+        #: class (first-seen order, round-robin over partitions) is
+        #: confined to a contiguous ``n_banks // N`` bank slice, so
+        #: classes can no longer row-conflict with each other.
+        self.bank_partitions = min(max(0, bank_partition_classes), n_banks)
+        self._part_size = (
+            n_banks // self.bank_partitions if self.bank_partitions > 1 else n_banks
+        )
+        self._class_partitions: Dict[str, int] = {}
 
     def assign(self, req: Request) -> Channel:
         """Decode the request's address and return its home channel."""
         mapped = self.mapper.map(req.line_addr)
         req.channel_id = mapped.channel
-        req.bank_id = mapped.bank
+        bank = mapped.bank
+        if self.bank_partitions > 1:
+            pid = self._class_partitions.get(req.traffic_class)
+            if pid is None:
+                pid = len(self._class_partitions) % self.bank_partitions
+                self._class_partitions[req.traffic_class] = pid
+            bank = pid * self._part_size + bank % self._part_size
+        req.bank_id = bank
         req.row_id = mapped.row
         return self.channels[mapped.channel]
 

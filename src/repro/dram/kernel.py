@@ -126,6 +126,8 @@ class ChannelKernel:
         "min_write_drain",
         "min_read_batch",
         "p2m_priority",
+        # per-bank token-bucket regulation (shared with the channel)
+        "bank_reg",
         # pools (shared credit runtime -- accounting stays bit-compatible)
         "rpq_pool",
         "wpq_pool",
@@ -194,6 +196,10 @@ class ChannelKernel:
         self.min_write_drain = channel.min_write_drain
         self.min_read_batch = channel.min_read_batch
         self.p2m_priority = channel.p2m_write_priority
+        # Same BankRegulator instance as the channel: ready/next_ready
+        # are pure and consume happens in the identical transmit
+        # sequence in both paths, so sharing state cannot diverge them.
+        self.bank_reg = channel.bank_reg
         self.rpq_pool = channel.rpq_pool
         self.wpq_pool = channel.wpq_pool
         self.rpq_occ = channel.rpq_pool.occ
@@ -416,10 +422,31 @@ class ChannelKernel:
             busy = self.busy_until
             best_b = -1
             best_seq = _BIG
-            for b, seq in self.match_r.items():
-                if seq < best_seq and now >= busy[b]:
-                    best_seq = seq
-                    best_b = b
+            reg = self.bank_reg
+            if reg is None:
+                for b, seq in self.match_r.items():
+                    if seq < best_seq and now >= busy[b]:
+                        best_seq = seq
+                        best_b = b
+            else:
+                qs = self.read_qs
+                retry = -1.0
+                for b, seq in self.match_r.items():
+                    if now >= busy[b]:
+                        lines = qs[b][0].lines
+                        if not reg.ready(b, now, lines):
+                            t = reg.next_ready(b, now, lines)
+                            if retry < 0.0 or t < retry:
+                                retry = t
+                            continue
+                        if seq < best_seq:
+                            best_seq = seq
+                            best_b = b
+                if best_b < 0 and retry >= 0.0:
+                    # Every otherwise-ready bank is token-blocked;
+                    # re-arm the pump at the earliest bucket refill.
+                    self._schedule_pump(retry)
+                    return
             if best_b < 0:
                 return  # head banks are preparing; completions re-pump
             self._transmit_read(best_b, now)
@@ -437,12 +464,22 @@ class ChannelKernel:
             busy = self.busy_until
             best_b = -1
             best_seq = _BIG
+            reg = self.bank_reg
+            retry = -1.0
             if self.p2m_priority:
                 p2m = self.head_p2m_w
                 p2m_b = -1
                 p2m_seq = _BIG
+                qs = self.write_qs
                 for b, seq in self.match_w.items():
                     if now >= busy[b]:
+                        if reg is not None:
+                            lines = qs[b][0].lines
+                            if not reg.ready(b, now, lines):
+                                t = reg.next_ready(b, now, lines)
+                                if retry < 0.0 or t < retry:
+                                    retry = t
+                                continue
                         if seq < best_seq:
                             best_seq = seq
                             best_b = b
@@ -451,12 +488,27 @@ class ChannelKernel:
                             p2m_b = b
                 if p2m_b >= 0:
                     best_b = p2m_b
-            else:
+            elif reg is None:
                 for b, seq in self.match_w.items():
                     if seq < best_seq and now >= busy[b]:
                         best_seq = seq
                         best_b = b
+            else:
+                qs = self.write_qs
+                for b, seq in self.match_w.items():
+                    if now >= busy[b]:
+                        lines = qs[b][0].lines
+                        if not reg.ready(b, now, lines):
+                            t = reg.next_ready(b, now, lines)
+                            if retry < 0.0 or t < retry:
+                                retry = t
+                            continue
+                        if seq < best_seq:
+                            best_seq = seq
+                            best_b = b
             if best_b < 0:
+                if retry >= 0.0:
+                    self._schedule_pump(retry)
                 return
             self._transmit_write(best_b, now)
 
@@ -467,6 +519,9 @@ class ChannelKernel:
         t_trans = self.t_trans
         t_burst = t_trans if lines == 1 else t_trans * lines
         self.ch_busy = now + t_burst
+        reg = self.bank_reg
+        if reg is not None:
+            reg.consume(b, now, lines)
         if req.row_outcome is None:
             # Served with its row already open and no PRE/ACT of its
             # own (opened by a prep for the other direction's head).
@@ -512,6 +567,9 @@ class ChannelKernel:
         t_trans = self.t_trans
         t_burst = t_trans if lines == 1 else t_trans * lines
         self.ch_busy = now + t_burst
+        reg = self.bank_reg
+        if reg is not None:
+            reg.consume(b, now, lines)
         if req.row_outcome is None:
             req.row_outcome = "hit"
             base = req.cls_id * 6 + 3

@@ -1,0 +1,201 @@
+"""Per-bank bandwidth regulation: the hot-bank mitigation experiment.
+
+§5.1 root-causes blue-regime MC queueing in two per-bank pathologies —
+bank load imbalance (Fig. 7d) and row-miss inflation — that
+channel-level schedulers cannot see. "Per-Bank Memory Bandwidth
+Regulation" (PAPERS.md) proposes the per-bank counterpart of HostCC:
+token-bucket the per-bank service rate so no single bank's backlog can
+monopolize consecutive scheduling slots.
+
+This experiment reproduces the mechanism on the simulator's
+oldest-first scheduler. Victims are closed-loop sequential readers
+(their in-flight demand is LFB-limited); the aggressor is an
+*open-loop* DMA read stream cycling a buffer much smaller than the
+bank stride, so a handful of banks hold a standing backlog that soaks
+up scheduling slots ahead of the victims' row walks. Regulation caps
+those banks' token rate; with their backlog throttled the pump serves
+the victims' banks instead, which
+
+* shrinks the bank-deviation CDF tail (the per-sample max-bank share
+  is bounded by the token rate), and
+* deflates the victims' row-miss inflation (fewer aggressor
+  interleavings on shared banks close fewer victim rows),
+
+with the aggressor — whose own rate is device-limited, far below the
+cap times its bank count — losing nothing. The defaults
+(``share=0.2``, ``burst=4``) are the measured sweet spot: tighter
+shares keep shrinking the tail but start convoying the victims
+themselves (their row bursts also hit the cap), trading bandwidth for
+fairness.
+
+All builders are frozen dataclasses (picklable) so the sweep composes
+with the run cache and the process-pool runner like every other
+experiment in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.records import RequestKind
+from repro.telemetry.bankstats import bank_deviation_cdf
+from repro.topology.host import Host, RunResult
+from repro.topology.presets import HostConfig, cascade_lake
+
+#: CDF thresholds reported by :func:`tail_fractions` — the Fig. 7d
+#: x-axis region where the baseline and regulated curves separate.
+TAIL_THRESHOLDS = (4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class BankRegSpec:
+    """One hot-bank scenario: victims, aggressor, regulation knobs."""
+
+    n_victim_cores: int = 4
+    #: aggressor buffer size; much smaller than the per-bank stride so
+    #: its open-loop stream camps on a few banks.
+    hog_region_bytes: int = 512 << 10
+    #: per-bank token rate as a fraction of the channel line rate.
+    share: float = 0.2
+    burst_lines: int = 4
+    #: traffic-class bank partitioning (0 = off); composes with the
+    #: token buckets but is reported separately.
+    partition_classes: int = 0
+    #: per-bank sample size for the deviation CDF. The paper samples
+    #: every 1000 requests; the small simulated windows need finer
+    #: granularity to resolve the tail.
+    sample_every: int = 100
+    warmup_ns: float = 20_000.0
+    measure_ns: float = 60_000.0
+
+    def config(self, regulated: bool) -> HostConfig:
+        """The host config for the baseline or regulated run."""
+        config = replace(cascade_lake(), bank_sample_every=self.sample_every)
+        if regulated:
+            config = replace(
+                config,
+                bank_reg_enabled=True,
+                bank_reg_share=self.share,
+                bank_reg_burst_lines=self.burst_lines,
+                bank_partition_classes=self.partition_classes,
+            )
+        return config
+
+
+@dataclass(frozen=True)
+class HotBankRunner:
+    """Picklable top-level runner for one scenario arm."""
+
+    spec: BankRegSpec
+    regulated: bool
+    with_aggressor: bool = True
+
+    def __call__(self) -> RunResult:
+        host = Host(self.spec.config(self.regulated))
+        host.add_stream_cores(self.spec.n_victim_cores, store_fraction=0.0)
+        if self.with_aggressor:
+            host.add_raw_dma(
+                RequestKind.READ,
+                region_bytes=self.spec.hog_region_bytes,
+                name="hog",
+            )
+        return host.run(self.spec.warmup_ns, self.spec.measure_ns)
+
+
+def tail_fractions(
+    deviations: Sequence[float],
+    thresholds: Sequence[float] = TAIL_THRESHOLDS,
+) -> Dict[float, float]:
+    """Fraction of samples at or above each deviation threshold.
+
+    The complementary CDF at the Fig. 7d tail — the quantity per-bank
+    regulation exists to shrink.
+    """
+    n = len(deviations)
+    if n == 0:
+        return {float(t): 0.0 for t in thresholds}
+    return {
+        float(t): sum(1 for d in deviations if d >= t) / n for t in thresholds
+    }
+
+
+@dataclass(frozen=True)
+class BankRegComparison:
+    """Baseline vs regulated arms of one hot-bank scenario."""
+
+    spec: BankRegSpec
+    isolated: RunResult  # victims alone: the row-miss floor
+    baseline: RunResult  # colocated, regulation off
+    regulated: RunResult  # colocated, regulation on
+
+    def tails(self) -> Tuple[Dict[float, float], Dict[float, float]]:
+        """(baseline, regulated) deviation tail fractions."""
+        return (
+            tail_fractions(self.baseline.bank_deviations),
+            tail_fractions(self.regulated.bank_deviations),
+        )
+
+    def cdfs(self, grid: Optional[Sequence[float]] = None):
+        """(baseline, regulated) deviation CDFs on a shared grid."""
+        if grid is None:
+            merged = sorted(
+                set(self.baseline.bank_deviations)
+                | set(self.regulated.bank_deviations)
+            )
+            grid = merged or [0.0]
+        return (
+            bank_deviation_cdf(self.baseline.bank_deviations, grid=grid),
+            bank_deviation_cdf(self.regulated.bank_deviations, grid=grid),
+        )
+
+    def row_miss_inflation(self) -> Tuple[float, float]:
+        """(baseline, regulated) victim row-miss ratio over isolated."""
+        floor = self.isolated.row_miss_ratio.get("c2m.read", 0.0)
+        if floor <= 0.0:
+            return 0.0, 0.0
+        return (
+            self.baseline.row_miss_ratio.get("c2m.read", 0.0) / floor,
+            self.regulated.row_miss_ratio.get("c2m.read", 0.0) / floor,
+        )
+
+
+def run_comparison(spec: Optional[BankRegSpec] = None) -> BankRegComparison:
+    """Run the three arms (isolated / baseline / regulated) of a spec."""
+    if spec is None:
+        spec = BankRegSpec()
+    return BankRegComparison(
+        spec=spec,
+        isolated=HotBankRunner(spec, regulated=False, with_aggressor=False)(),
+        baseline=HotBankRunner(spec, regulated=False)(),
+        regulated=HotBankRunner(spec, regulated=True)(),
+    )
+
+
+@dataclass(frozen=True)
+class BankRegSummary:
+    """The numbers the experiment exists to show, in one place."""
+
+    tail_baseline: Dict[float, float] = field(default_factory=dict)
+    tail_regulated: Dict[float, float] = field(default_factory=dict)
+    inflation_baseline: float = 0.0
+    inflation_regulated: float = 0.0
+    victim_bw_baseline: float = 0.0
+    victim_bw_regulated: float = 0.0
+    hog_bw_baseline: float = 0.0
+    hog_bw_regulated: float = 0.0
+
+    @classmethod
+    def from_comparison(cls, comparison: BankRegComparison) -> "BankRegSummary":
+        tail_base, tail_reg = comparison.tails()
+        infl_base, infl_reg = comparison.row_miss_inflation()
+        return cls(
+            tail_baseline=tail_base,
+            tail_regulated=tail_reg,
+            inflation_baseline=infl_base,
+            inflation_regulated=infl_reg,
+            victim_bw_baseline=comparison.baseline.class_bandwidth("c2m"),
+            victim_bw_regulated=comparison.regulated.class_bandwidth("c2m"),
+            hog_bw_baseline=comparison.baseline.device_bandwidth("hog"),
+            hog_bw_regulated=comparison.regulated.device_bandwidth("hog"),
+        )

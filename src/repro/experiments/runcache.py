@@ -106,6 +106,14 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
     # simulation: results at different REPRO_BURST factors must never
     # replay each other's cache entries.
     digest.update(f"burst={burst_factor()}".encode())
+    # The DDIO and per-bank-regulation force-knobs change host
+    # behaviour without appearing in the pickled spec (the HostConfig
+    # defaults stay off); keep their namespaces separate too.
+    from repro.dram.regulator import bank_reg_forced
+    from repro.uncore.llc import ddio_forced
+
+    digest.update(f"ddio={ddio_forced()}".encode())
+    digest.update(f"bankreg={bank_reg_forced()}".encode())
     digest.update(spec)
     return digest.hexdigest()
 

@@ -84,3 +84,34 @@ def domain_credits(result: RunResult, kind: str) -> Optional[float]:
     if snapshot is None or snapshot.credits <= 0:
         return None
     return snapshot.credits
+
+
+def ddio_credits(result: RunResult) -> Optional[float]:
+    """Credits ``C`` of the fifth (llc.ddio) domain, in cachelines.
+
+    ``None`` on runs without DDIO (no ``llc.ddio`` snapshot). The
+    credits are the DDIO slice capacity ``n_sets * ddio_ways``, so §6
+    what-ifs can resize the slice (e.g. "would 4 DDIO ways absorb this
+    buffer?") via :func:`ddio_throughput_bound`.
+    """
+    return domain_credits(result, "llc.ddio")
+
+
+def ddio_throughput_bound(
+    result: RunResult, credits: Optional[float] = None
+) -> Optional[float]:
+    """The DDIO domain's ``C * 64 / L`` bound in bytes/ns (== GB/s).
+
+    ``credits`` overrides the measured slice capacity for what-if
+    resizing; the measured DMA-line residency ``L`` is kept. Returns
+    ``None`` when the run has no llc.ddio snapshot or the domain saw
+    no evictions (L unmeasured — the slice absorbed everything, i.e.
+    the bound is not binding).
+    """
+    snapshot = result.domain_snapshots.get("llc.ddio")
+    if snapshot is None or snapshot.latency_ns <= 0:
+        return None
+    c = snapshot.credits if credits is None else credits
+    if c <= 0:
+        return None
+    return c * 64 / snapshot.latency_ns

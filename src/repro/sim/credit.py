@@ -264,6 +264,7 @@ _DOMAIN_PREFIXES: Dict[DomainKind, str] = {
     DomainKind.C2M_WRITE: "domain.c2m_write.",
     DomainKind.P2M_READ: "domain.p2m_read.",
     DomainKind.P2M_WRITE: "domain.p2m_write.",
+    DomainKind.LLC_DDIO: "domain.llc_ddio.",
 }
 
 

@@ -60,8 +60,13 @@ class BankLoadSampler:
             counts[b] = 0
         self.seen = 0
 
-    def reset(self, now: float = 0.0) -> None:
-        """Drop partial counts and collected samples."""
+    def reset(self) -> None:
+        """Drop partial counts and collected samples.
+
+        Unlike the occupancy counters, the sampler keeps no time state
+        — counts are per-request — so (unlike every other telemetry
+        ``reset``) there is no ``now`` parameter to honor.
+        """
         counts = self.counts
         for b in range(self.n_banks):
             counts[b] = 0

@@ -29,9 +29,10 @@ from repro.sim.engine import make_simulator
 from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
 from repro.telemetry.counters import CounterHub
 from repro.topology.presets import HostConfig
+from repro.dram.regulator import bank_reg_forced
 from repro.uncore.cha import CHA
 from repro.uncore.iio import IIO
-from repro.uncore.llc import LastLevelCache
+from repro.uncore.llc import LastLevelCache, ddio_forced
 from repro.validate import ValidatingSimulator, Validator
 from repro.validate import enabled as validate_enabled
 
@@ -178,6 +179,19 @@ class Host:
         self.hub = CounterHub()
         self._rng = random.Random(seed)
         self._region_cursor = 0
+        #: DDIO last mile: ``REPRO_DDIO`` force-overrides the config
+        #: (forcing it on models the cache even for ``llc_mode="bypass"``
+        #: configs, so any experiment can be re-run with DDIO).
+        forced_ddio = ddio_forced()
+        self.ddio_enabled = (
+            config.ddio_enabled if forced_ddio is None else forced_ddio
+        )
+        #: per-bank regulation: ``REPRO_BANK_REG`` force-overrides.
+        forced_reg = bank_reg_forced()
+        bank_reg_on = (
+            config.bank_reg_enabled if forced_reg is None else forced_reg
+        )
+        self.bank_reg_enabled = bank_reg_on
         self.mc = MemoryController(
             self.sim,
             self.hub,
@@ -194,18 +208,21 @@ class Host:
             p2m_write_priority=config.p2m_write_priority,
             xor_bank_hash=config.xor_bank_hash,
             bank_sample_every=config.bank_sample_every,
+            bank_reg_rate=(
+                config.bank_reg_share / config.dram_timing.t_trans
+                if bank_reg_on
+                else None
+            ),
+            bank_reg_burst_lines=config.bank_reg_burst_lines,
+            bank_partition_classes=config.bank_partition_classes,
         )
+        if config.llc_mode not in ("full", "bypass"):
+            raise ValueError(f"unknown llc_mode {config.llc_mode!r}")
         self.llc: Optional[LastLevelCache] = None
-        if config.llc_mode == "full":
+        if config.llc_mode == "full" or self.ddio_enabled:
             self.llc = LastLevelCache(
                 config.llc_size_bytes, config.llc_ways, config.ddio_ways
             )
-            if config.ddio_enabled:
-                # Steady state: the DDIO ways are already full of
-                # dirty DMA lines (see LastLevelCache.prewarm_ddio).
-                self.llc.prewarm_ddio(base_line=1 << 40)
-        elif config.llc_mode != "bypass":
-            raise ValueError(f"unknown llc_mode {config.llc_mode!r}")
         self.cha = CHA(
             self.sim,
             self.hub,
@@ -215,7 +232,7 @@ class Host:
             t_cha_to_mc=config.t_cha_to_mc,
             t_llc_hit=config.t_llc_hit,
             llc=self.llc,
-            ddio_enabled=config.ddio_enabled,
+            ddio_enabled=self.ddio_enabled,
         )
         self.iio = IIO(
             self.sim,
@@ -237,6 +254,30 @@ class Host:
         for channel in self.mc.channels:
             self.domains.track(channel.rpq_pool)
             self.domains.track(channel.wpq_pool)
+        #: the fifth domain: each DMA-tagged LLC line holds one
+        #: ``llc.ddio`` credit from install to eviction, so C is the
+        #: DDIO slice in cachelines and L the DMA-line residency time.
+        #: Soft because DDIO hits convert resident core lines beyond
+        #: the slice's admission budget. Registered (and the cache
+        #: prewarmed into the paper's steady state) *after* the tracker
+        #: exists so the prewarm's credit events are accounted.
+        self.llc_ddio_pool = None
+        if self.llc is not None and self.ddio_enabled:
+            pool = self.hub.pool(
+                "llc.ddio",
+                max(1, self.llc.ddio_capacity_bytes // CACHELINE_BYTES),
+                soft=True,
+            )
+            self.llc_ddio_pool = pool
+            self.domains.register(DomainKind.LLC_DDIO, pool)
+            self.llc.attach_ddio_pool(
+                pool,
+                clock=lambda: self.sim.now,
+                latency=self.hub.latency("domain.llc_ddio.dma"),
+            )
+            # Steady state: the DDIO ways are already full of dirty
+            # DMA lines (see LastLevelCache.prewarm_ddio).
+            self.llc.prewarm_ddio(base_line=1 << 40)
         self.link = PcieLink(
             self.sim,
             bandwidth_bytes_per_ns=config.pcie_bandwidth,

@@ -51,6 +51,18 @@ class HostConfig:
     p2m_write_priority: bool = False
     xor_bank_hash: bool = True
     bank_sample_every: int = 1000
+    # Per-bank bandwidth regulation + bank partitioning ("Per-Bank
+    # Memory Bandwidth Regulation", PAPERS.md). Off by default — the
+    # paper's baseline MC has neither. ``bank_reg_share`` is the
+    # fraction of the channel line rate (1 / t_trans) one bank's token
+    # bucket refills at; ``bank_reg_burst_lines`` is the bucket depth.
+    # ``bank_partition_classes`` > 1 confines each traffic class to a
+    # contiguous ``n_banks // N`` bank slice (0 = no partitioning).
+    # ``REPRO_BANK_REG`` force-toggles ``bank_reg_enabled`` over this.
+    bank_reg_enabled: bool = False
+    bank_reg_share: float = 0.5
+    bank_reg_burst_lines: int = 64
+    bank_partition_classes: int = 0
     # Physical page placement: ordinary 4 KB pages are scattered across
     # DRAM, which drives the row-miss and bank-imbalance root causes of
     # §5.1. Disable for hugepage/physically-contiguous ablations.

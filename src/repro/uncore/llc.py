@@ -11,22 +11,58 @@ The model is a set-associative tag store with per-line dirty and
 is-DMA bits. DMA allocations respect the DDIO way budget by evicting
 the LRU *DMA-tagged* line of the set once the budget is exceeded;
 core fills use plain LRU over all ways.
+
+The DDIO slice doubles as the fifth contention domain ("From RDMA to
+RDCA", PAPERS.md): a :class:`~repro.sim.credit.CreditPool` attached via
+:meth:`LastLevelCache.attach_ddio_pool` treats each DMA-tagged line as
+a held credit — acquired when a DMA line is installed (or a resident
+core line is converted by a DDIO hit), released when the line is
+evicted — so the slice surfaces the same (C, L, T) snapshot as the
+four Fig. 5 domains, with L the DMA-line residency time.
+
+``REPRO_DDIO`` (see :func:`ddio_forced`) force-enables or -disables
+DDIO regardless of the :class:`~repro.topology.presets.HostConfig`,
+so any existing experiment can be re-run with the cache last mile on.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import os
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.sim.records import CACHELINE_BYTES
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.credit import CreditPool
+    from repro.telemetry.counters import LatencyStat
+
+
+def ddio_forced() -> Optional[bool]:
+    """The ``REPRO_DDIO`` override: True/False to force DDIO on/off,
+    ``None`` (unset or ``config``) to defer to the host config.
+
+    Invalid values raise so typos don't silently change which P2M
+    write path runs.
+    """
+    raw = os.environ.get("REPRO_DDIO", "").strip().lower()
+    if raw in ("", "config"):
+        return None
+    if raw in ("1", "on", "yes", "true"):
+        return True
+    if raw in ("0", "off", "no", "false"):
+        return False
+    raise ValueError(f"REPRO_DDIO must be 0/1 (or unset), got {raw!r}")
+
 
 class _Line:
-    __slots__ = ("addr", "dirty", "is_dma")
+    __slots__ = ("addr", "dirty", "is_dma", "t_install")
 
     def __init__(self, addr: int, dirty: bool, is_dma: bool):
         self.addr = addr
         self.dirty = dirty
         self.is_dma = is_dma
+        #: when the line last became DMA-tagged (credit-hold start).
+        self.t_install = 0.0
 
 
 class LastLevelCache:
@@ -51,6 +87,11 @@ class LastLevelCache:
         self._sets: List[List[_Line]] = [[] for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
+        # Optional credit-domain tracking (attach_ddio_pool): every
+        # DMA-tagged line holds one llc.ddio credit while resident.
+        self._ddio_pool: Optional["CreditPool"] = None
+        self._ddio_latency: Optional["LatencyStat"] = None
+        self._clock: Callable[[], float] = lambda: 0.0
 
     @property
     def size_bytes(self) -> int:
@@ -61,6 +102,42 @@ class LastLevelCache:
     def ddio_capacity_bytes(self) -> int:
         """Capacity of the slice DDIO is allowed to use."""
         return self.n_sets * self.ddio_ways * CACHELINE_BYTES
+
+    def attach_ddio_pool(
+        self,
+        pool: "CreditPool",
+        clock: Callable[[], float],
+        latency: Optional["LatencyStat"] = None,
+    ) -> None:
+        """Track DMA-line residency on a credit pool (the fifth domain).
+
+        ``pool`` must be ``soft``: a DDIO hit on a resident core line
+        converts it to DMA without evicting, so occupancy may exceed
+        the ``ddio_capacity_bytes / 64`` admission budget. ``latency``
+        is the hub stat the :class:`~repro.sim.credit.DomainTracker`
+        aggregates (``domain.llc_ddio.*``); residency times are
+        recorded there *and* on the pool's own hold-time stat.
+        """
+        self._ddio_pool = pool
+        self._ddio_latency = latency
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Credit-domain hooks (no-ops until attach_ddio_pool)
+    # ------------------------------------------------------------------
+
+    def _dma_installed(self, line: _Line, now: float) -> None:
+        line.t_install = now
+        self._ddio_pool.acquire(now, 1)
+
+    def _dma_evicted(self, line: _Line, now: float) -> None:
+        if self._ddio_latency is not None:
+            self._ddio_latency.record(now - line.t_install, 1)
+        self._ddio_pool.release_held(now, line.t_install, 1)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
 
     def _set_for(self, line_addr: int) -> List[_Line]:
         return self._sets[line_addr % self.n_sets]
@@ -103,7 +180,13 @@ class LastLevelCache:
             self.hits += 1
             line = lines.pop(idx)
             line.dirty = True
-            line.is_dma = True
+            if not line.is_dma:
+                # A resident core line converted by a DDIO write starts
+                # holding a slice credit now (beyond the way budget —
+                # the reason the llc.ddio pool is soft).
+                line.is_dma = True
+                if self._ddio_pool is not None:
+                    self._dma_installed(line, self._clock())
             lines.insert(0, line)
             return "hit", None
         self.misses += 1
@@ -121,6 +204,10 @@ class LastLevelCache:
         lines.insert(0, line)
         return True
 
+    # ------------------------------------------------------------------
+    # Installs
+    # ------------------------------------------------------------------
+
     def _install(self, lines: List[_Line], new: _Line) -> Optional[int]:
         """Plain LRU install; returns evicted dirty address if any."""
         evicted_dirty = None
@@ -128,6 +215,8 @@ class LastLevelCache:
             victim = lines.pop()
             if victim.dirty:
                 evicted_dirty = victim.addr
+            if victim.is_dma and self._ddio_pool is not None:
+                self._dma_evicted(victim, self._clock())
         lines.insert(0, new)
         return evicted_dirty
 
@@ -135,6 +224,8 @@ class LastLevelCache:
         """DDIO install: victims come from the DMA way budget first."""
         dma_count = sum(1 for line in lines if line.is_dma)
         evicted_dirty = None
+        pool = self._ddio_pool
+        now = self._clock() if pool is not None else 0.0
         if dma_count >= self.ddio_ways:
             # Evict the LRU DMA line (scan from the LRU end).
             for i in range(len(lines) - 1, -1, -1):
@@ -142,13 +233,23 @@ class LastLevelCache:
                     victim = lines.pop(i)
                     if victim.dirty:
                         evicted_dirty = victim.addr
+                    if pool is not None:
+                        self._dma_evicted(victim, now)
                     break
         elif len(lines) >= self.ways:
             victim = lines.pop()
             if victim.dirty:
                 evicted_dirty = victim.addr
+            if victim.is_dma and pool is not None:
+                self._dma_evicted(victim, now)
+        if pool is not None:
+            self._dma_installed(new, now)
         lines.insert(0, new)
         return evicted_dirty
+
+    # ------------------------------------------------------------------
+    # Prewarm
+    # ------------------------------------------------------------------
 
     def prewarm_ddio(self, base_line: int) -> None:
         """Fill every set's DDIO way budget with dirty DMA lines.
@@ -158,14 +259,88 @@ class LastLevelCache:
         DMA allocation evicts a dirty line. Reaching that state
         organically takes hundreds of microseconds of simulated DMA;
         prewarming jumps straight to it. ``base_line`` should point at
-        an address range no workload uses.
+        an address range no workload uses; it is rounded down to a
+        multiple of ``n_sets`` so every synthetic address is
+        set-congruent (``addr % n_sets`` names the set holding it —
+        the :meth:`verify_tags` invariant).
+
+        Idempotent: re-prewarming a cache that already holds the
+        synthetic lines re-dirties them in place instead of installing
+        duplicate tags. Victims (core-LRU first) are evicted per
+        install, exactly as organic DMA traffic would evict them.
         """
-        addr = base_line
-        for lines in self._sets:
-            for _ in range(self.ddio_ways):
-                lines.append(_Line(addr, dirty=True, is_dma=True))
-                addr += 1
-            del lines[self.ways:]
+        base = base_line - base_line % self.n_sets
+        pool = self._ddio_pool
+        now = self._clock() if pool is not None else 0.0
+        n_sets = self.n_sets
+        for set_index, lines in enumerate(self._sets):
+            for k in range(self.ddio_ways):
+                addr = base + set_index + k * n_sets
+                idx = self._find(lines, addr)
+                if idx is not None:
+                    line = lines.pop(idx)
+                    line.dirty = True
+                    if not line.is_dma:
+                        line.is_dma = True
+                        if pool is not None:
+                            self._dma_installed(line, now)
+                    lines.insert(0, line)
+                    continue
+                if len(lines) >= self.ways:
+                    # Evict the LRU core line; fall back to the LRU DMA
+                    # line only when every way is already DMA-tagged.
+                    victim_idx = len(lines) - 1
+                    for i in range(len(lines) - 1, -1, -1):
+                        if not lines[i].is_dma:
+                            victim_idx = i
+                            break
+                    victim = lines.pop(victim_idx)
+                    if victim.is_dma and pool is not None:
+                        self._dma_evicted(victim, now)
+                new = _Line(addr, dirty=True, is_dma=True)
+                if pool is not None:
+                    self._dma_installed(new, now)
+                lines.insert(0, new)
+
+    # ------------------------------------------------------------------
+    # Invariants / introspection
+    # ------------------------------------------------------------------
+
+    def dma_lines(self) -> int:
+        """Resident DMA-tagged lines (the llc.ddio credits held)."""
+        return sum(
+            1 for lines in self._sets for line in lines if line.is_dma
+        )
+
+    def verify_tags(self) -> int:
+        """Tag-store structural invariants (REPRO_VALIDATE probe walk).
+
+        Every line's address must map to the set holding it, tags must
+        be unique within a set, and no set may exceed the
+        associativity. Returns the number of lines checked; raises
+        ``AssertionError`` on any violation (wrapped into an
+        ``InvariantViolation`` by the validator probe).
+        """
+        checked = 0
+        n_sets = self.n_sets
+        for set_index, lines in enumerate(self._sets):
+            assert len(lines) <= self.ways, (
+                f"set {set_index}: {len(lines)} lines exceed "
+                f"{self.ways} ways"
+            )
+            seen = set()
+            for line in lines:
+                home = line.addr % n_sets
+                assert home == set_index, (
+                    f"set {set_index}: line addr {line.addr} maps to "
+                    f"set {home}"
+                )
+                assert line.addr not in seen, (
+                    f"set {set_index}: duplicate tag {line.addr}"
+                )
+                seen.add(line.addr)
+                checked += 1
+        return checked
 
     @property
     def miss_ratio(self) -> float:

@@ -222,6 +222,55 @@ def fig03_fingerprint() -> Dict[str, Dict[str, Any]]:
     }
 
 
+#: DDIO smoke slice: one quadrant-1 point (P2M-write heavy — the blue
+#: regime DDIO matters for) re-run with ``REPRO_DDIO=1``, locking the
+#: fifth-domain (``llc.ddio``) measurements across commits the same way
+#: the fig03 baseline locks the four Fig. 5 domains.
+DDIO_SMOKE_SLICE = (1, (1,))
+DDIO_SMOKE_WINDOWS = FIG03_FINGERPRINT_WINDOWS
+
+
+def ddio_smoke_fingerprint_points() -> Dict[str, Any]:
+    """Run the DDIO smoke slice under ``REPRO_DDIO=1``.
+
+    Returns ``{label: RunResult}``. Only the P2M-involved runs are
+    fingerprinted — the C2M-isolated run has no DMA traffic, so DDIO
+    leaves it untouched (and the fig03 baseline already covers it).
+    """
+    from repro.experiments.quadrants import QUADRANTS, quadrant_experiment
+
+    warmup, measure = DDIO_SMOKE_WINDOWS
+    quadrant, core_counts = DDIO_SMOKE_SLICE
+    results: Dict[str, Any] = {}
+    with _environment(REPRO_DDIO="1"):
+        experiment = quadrant_experiment(QUADRANTS[quadrant])
+        for n in core_counts:
+            point = experiment.point(n, warmup, measure)
+            results[f"ddio.q{quadrant}.n{n}.p2m_isolated"] = point.p2m_isolated_run
+            results[f"ddio.q{quadrant}.n{n}.colocated"] = point.colocated
+    return results
+
+
+def ddio_smoke_fingerprint() -> Dict[str, Dict[str, Any]]:
+    """Fingerprints for the DDIO smoke slice, keyed by point label."""
+    return {
+        label: result_fingerprint(result)
+        for label, result in ddio_smoke_fingerprint_points().items()
+    }
+
+
+def assert_ddio_smoke_matches(path: str) -> int:
+    """Re-run the DDIO smoke slice against its stored baseline."""
+    baseline = load_fingerprint(path)
+    current = ddio_smoke_fingerprint_points()
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        raise AssertionError(f"ddio baseline has unknown points: {missing}")
+    for label, expected in baseline.items():
+        assert_matches_fingerprint(current[label], expected, context=label)
+    return len(baseline)
+
+
 def load_fingerprint(path: str) -> Dict[str, Dict[str, Any]]:
     """Load a stored fingerprint file written by ``tools/fig03_check.py``."""
     with open(path, "r", encoding="utf-8") as fh:

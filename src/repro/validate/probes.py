@@ -95,6 +95,7 @@ class Validator:
         self.check_engine(host)
         self.check_credit_pools(host)
         self.check_cha(host)
+        self.check_llc(host)
         self.check_channels(host)
         self.check_pcie(host)
         self.check_littles_law(host)
@@ -236,6 +237,41 @@ class Validator:
             stage=cha.write_waiting.value,
             backlog=cha.write_backlog_len,
         )
+
+    def check_llc(self, host: "Host") -> None:
+        """LLC tag-store structure + DDIO credit-occupancy identity.
+
+        The tag walk (:meth:`~repro.uncore.llc.LastLevelCache
+        .verify_tags`) proves every line sits in the set its address
+        maps to, tags are unique per set and no set exceeds the
+        associativity; when the llc.ddio domain is live, the credits
+        held must equal the resident DMA-tagged lines exactly.
+        """
+        self._now = host.sim.now
+        llc = host.llc
+        if llc is None:
+            return
+        try:
+            llc.verify_tags()
+        except AssertionError as exc:
+            raise InvariantViolation(
+                "llc",
+                "tag-store",
+                str(exc),
+                window=self._window,
+            ) from None
+        self.checks_passed += 1
+        pool = getattr(host, "llc_ddio_pool", None)
+        if pool is not None:
+            dma = llc.dma_lines()
+            self._require(
+                pool.occ.value == dma,
+                "llc.ddio",
+                "occupancy-accounting",
+                "llc.ddio credits held disagree with resident DMA lines",
+                credits_held=pool.occ.value,
+                dma_lines=dma,
+            )
 
     def check_channels(self, host: "Host") -> None:
         """Per-channel bank-FIFO reconciliation with the queue pools.
@@ -406,6 +442,29 @@ class Validator:
                 pool.capacity,
                 stat.count,
                 stat.average,
+                elapsed,
+            )
+
+        # The DDIO slice: hold times are DMA-line residencies,
+        # recorded by the LLC at each eviction (release_held). Unlike
+        # the other pools (hold times of hundreds of ns), a line's
+        # residency can approach the window length — and Little's law
+        # over a window only holds when elapsed >> L (the occupancy
+        # integral is otherwise dominated by lines installed before
+        # the window). Only check once the slice demonstrably turned
+        # over several times within the window.
+        pool = getattr(host, "llc_ddio_pool", None)
+        if (
+            pool is not None
+            and pool.latency.count > 0
+            and pool.latency.average * 4.0 <= elapsed
+        ):
+            self._check_littles_law_pool(
+                pool.name,
+                pool.average(now),
+                pool.capacity,
+                pool.latency.count,
+                pool.latency.average,
                 elapsed,
             )
 

@@ -1,0 +1,166 @@
+"""The fifth credit domain: the LLC's DDIO slice (llc.ddio).
+
+Covers the env knobs (REPRO_DDIO / REPRO_BANK_REG), the DomainSnapshot
+surfaced on RunResult, the pool-occupancy == dma_lines identity, the
+validator probes under REPRO_VALIDATE=1, and the §6 what-if helpers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.domain import DomainKind
+from repro.dram.regulator import bank_reg_forced
+from repro.model.inputs import ddio_credits, ddio_throughput_bound
+from repro.topology.host import Host
+from repro.topology.presets import cascade_lake
+from repro.uncore.llc import ddio_forced
+from repro.sim.records import RequestKind
+
+WARMUP = 5_000.0
+MEASURE = 20_000.0
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_DDIO", raising=False)
+    monkeypatch.delenv("REPRO_BANK_REG", raising=False)
+    monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+
+
+def ddio_config(**overrides):
+    """cascade_lake with DDIO on and an LLC small enough to thrash."""
+    defaults = dict(
+        ddio_enabled=True,
+        llc_size_bytes=256 * 1024,
+        llc_ways=8,
+        ddio_ways=2,
+    )
+    defaults.update(overrides)
+    return dataclasses.replace(cascade_lake(), **defaults)
+
+
+def run_p2m(config, validate=None):
+    host = Host(config, validate=validate)
+    host.add_raw_dma(RequestKind.WRITE)
+    return host, host.run(WARMUP, MEASURE)
+
+
+class TestKnobParsing:
+    @pytest.mark.parametrize("value,expected", [
+        ("", None), ("config", None),
+        ("1", True), ("on", True), ("yes", True), ("true", True),
+        ("0", False), ("off", False), ("no", False), ("false", False),
+    ])
+    def test_ddio_forced_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_DDIO", value)
+        assert ddio_forced() is expected
+
+    def test_ddio_forced_unset(self):
+        assert ddio_forced() is None
+
+    def test_ddio_forced_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DDIO", "maybe")
+        with pytest.raises(ValueError, match="REPRO_DDIO"):
+            ddio_forced()
+
+    @pytest.mark.parametrize("value,expected", [
+        ("config", None), ("ON", True), ("Off", False),
+    ])
+    def test_bank_reg_forced_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_BANK_REG", value)
+        assert bank_reg_forced() is expected
+
+    def test_bank_reg_forced_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BANK_REG", "2")
+        with pytest.raises(ValueError, match="REPRO_BANK_REG"):
+            bank_reg_forced()
+
+
+class TestDomainKind:
+    def test_llc_ddio_member(self):
+        assert DomainKind.LLC_DDIO.value == "llc.ddio"
+
+    def test_llc_ddio_excludes_mc_and_dram(self):
+        """Residency in the DDIO slice ends at eviction — the domain
+        covers the cache, not the memory path behind it."""
+        assert not DomainKind.LLC_DDIO.includes_mc
+        assert not DomainKind.LLC_DDIO.includes_dram
+
+
+class TestFifthSnapshot:
+    def test_config_enables_fifth_domain(self):
+        _, result = run_p2m(ddio_config())
+        snapshot = result.domain_snapshots.get("llc.ddio")
+        assert snapshot is not None
+        assert snapshot.credits == pytest.approx(256 * 1024 // 8 // 64 * 2)
+        assert "llc.ddio" in result.domains()
+
+    def test_off_by_default(self):
+        _, result = run_p2m(cascade_lake())
+        assert "llc.ddio" not in result.domain_snapshots
+
+    def test_env_knob_forces_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DDIO", "1")
+        host, result = run_p2m(cascade_lake())
+        assert host.ddio_enabled
+        assert "llc.ddio" in result.domain_snapshots
+
+    def test_env_knob_forces_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DDIO", "0")
+        host, result = run_p2m(ddio_config())
+        assert not host.ddio_enabled
+        assert "llc.ddio" not in result.domain_snapshots
+
+    def test_thrash_bound_utilization_near_one(self):
+        """A DMA buffer much larger than the slice thrashes it: T·L
+        saturates C·64 (§4.1 applied to the fifth domain)."""
+        _, result = run_p2m(ddio_config())
+        snapshot = result.domain_snapshots["llc.ddio"]
+        assert snapshot.completions > 0
+        # Window-boundary transients (lines resident across the window
+        # edges) shave a few percent off the ideal 1.0.
+        assert 0.9 <= snapshot.bound_utilization <= 1.01
+
+    def test_pool_occupancy_matches_tag_store(self):
+        host, _ = run_p2m(ddio_config())
+        assert host.llc_ddio_pool is not None
+        assert host.llc_ddio_pool.occ.value == host.llc.dma_lines()
+
+
+class TestValidatedRun:
+    def test_probes_pass_with_ddio_domain(self):
+        """The full REPRO_VALIDATE probe walk — verify_tags, occupancy
+        accounting, conservation, Little's law, check_domains — stays
+        green with the fifth domain live and thrashing."""
+        _, result = run_p2m(ddio_config(), validate=True)
+        assert result.invariant_checks > 0
+        assert "llc.ddio" in result.domain_snapshots
+
+
+class TestWhatIfHelpers:
+    def test_ddio_credits(self):
+        _, result = run_p2m(ddio_config())
+        assert ddio_credits(result) == pytest.approx(1024.0)
+
+    def test_ddio_credits_none_without_ddio(self):
+        _, result = run_p2m(cascade_lake())
+        assert ddio_credits(result) is None
+
+    def test_throughput_bound_matches_snapshot(self):
+        _, result = run_p2m(ddio_config())
+        snapshot = result.domain_snapshots["llc.ddio"]
+        bound = ddio_throughput_bound(result)
+        assert bound == pytest.approx(snapshot.credits * 64 / snapshot.latency_ns)
+
+    def test_throughput_bound_what_if_scales_linearly(self):
+        """Doubling the slice doubles the C·64/L bound — the §6 what-if
+        the helper exists for."""
+        _, result = run_p2m(ddio_config())
+        base = ddio_throughput_bound(result)
+        doubled = ddio_throughput_bound(result, credits=2 * ddio_credits(result))
+        assert doubled == pytest.approx(2 * base)
+
+    def test_throughput_bound_none_without_snapshot(self):
+        _, result = run_p2m(cascade_lake())
+        assert ddio_throughput_bound(result) is None

@@ -49,6 +49,19 @@ class TestExamples:
         assert "pfc_pause_frac" in out
         assert "ib_write_bw" in out
 
+    def test_bank_regulation(self, capsys):
+        import dataclasses
+
+        module = load_example("bank_regulation")
+        module.SPEC = dataclasses.replace(
+            module.SPEC, warmup_ns=5_000.0, measure_ns=15_000.0
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "per-bank regulation" in out
+        assert "row-miss inflation" in out
+        assert "shrinks" in out
+
     def test_noisy_neighbor_storage(self, capsys):
         module = load_example("noisy_neighbor_storage")
         module.WARMUP_NS, module.MEASURE_NS = 5_000.0, 12_000.0

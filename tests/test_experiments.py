@@ -126,3 +126,53 @@ class TestFigureBuilders:
         data = FigureData("figX", "t", "x", [1, 2])
         data.add("s", (1.0, 2.0))
         assert data.series["s"] == [1.0, 2.0]
+
+
+class TestBankRegulation:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        import dataclasses
+
+        from repro.experiments.bankreg import BankRegSpec, run_comparison
+
+        spec = dataclasses.replace(
+            BankRegSpec(), warmup_ns=5_000.0, measure_ns=15_000.0
+        )
+        return run_comparison(spec)
+
+    def test_regulation_shrinks_deviation_tail(self, comparison):
+        """The experiment's headline claim: the P(dev >= 8) tail of the
+        bank-deviation CDF shrinks clearly under regulation."""
+        tail_base, tail_reg = comparison.tails()
+        assert tail_base[8.0] > 0.3  # the aggressor really fattens it
+        assert tail_reg[8.0] < 0.6 * tail_base[8.0]
+
+    def test_aggressor_not_throttled_overall(self, comparison):
+        """Its per-bank caps sum far above the device rate."""
+        base = comparison.baseline.device_bandwidth("hog")
+        reg = comparison.regulated.device_bandwidth("hog")
+        assert reg == pytest.approx(base, rel=0.05)
+
+    def test_cdfs_share_grid_and_are_monotone(self, comparison):
+        (bx, bf), (rx, rf) = comparison.cdfs()
+        assert list(bx) == list(rx)
+        assert all(bf[i] <= bf[i + 1] for i in range(len(bf) - 1))
+        assert all(rf[i] <= rf[i + 1] for i in range(len(rf) - 1))
+
+    def test_spec_config_knobs(self):
+        from repro.experiments.bankreg import BankRegSpec
+
+        spec = BankRegSpec(share=0.25, burst_lines=8, partition_classes=2)
+        off = spec.config(regulated=False)
+        on = spec.config(regulated=True)
+        assert not off.bank_reg_enabled
+        assert on.bank_reg_enabled
+        assert on.bank_reg_share == 0.25
+        assert on.bank_reg_burst_lines == 8
+        assert on.bank_partition_classes == 2
+        assert on.bank_sample_every == off.bank_sample_every == 100
+
+    def test_tail_fractions_empty(self):
+        from repro.experiments.bankreg import tail_fractions
+
+        assert tail_fractions([]) == {4.0: 0.0, 6.0: 0.0, 8.0: 0.0, 10.0: 0.0}

@@ -123,6 +123,105 @@ class TestDdioWrites:
         assert all(o == "hit" for o in outcomes)
 
 
+class TestInstallDmaEdgeCases:
+    def test_budget_victim_with_free_ways(self):
+        """dma_count at budget but the set is not full: the victim must
+        still come from the DMA slice — free ways don't grow it."""
+        llc = make(size_kb=1, ways=8, ddio_ways=2)
+        n_sets = llc.n_sets
+        core = 10 * n_sets
+        llc.lookup_read(core)
+        llc.write_allocate_ddio(0)
+        llc.write_allocate_ddio(n_sets)
+        # 4 of 8 ways used; budget full. Next DMA alloc evicts DMA LRU.
+        _, evicted = llc.write_allocate_ddio(2 * n_sets)
+        assert evicted == 0
+        lines = llc._set_for(0)
+        assert len(lines) == 3  # swap within the slice, no growth
+        assert llc.lookup_read(core)[0]
+
+    def test_plain_lru_branch_returns_dirty_core_victim(self):
+        """Set full but DMA budget free: plain LRU runs, and a dirty
+        *core* victim's address is surfaced for the writeback."""
+        llc = make(size_kb=1, ways=2, ddio_ways=2)
+        n_sets = llc.n_sets
+        dirty_core, clean_core = 5 * n_sets, 6 * n_sets
+        llc.lookup_read(dirty_core)
+        llc.writeback_update(dirty_core)
+        llc.lookup_read(clean_core)  # MRU; dirty_core now LRU
+        _, evicted = llc.write_allocate_ddio(0)
+        assert evicted == dirty_core
+
+
+class TestPrewarm:
+    def test_prewarm_fills_every_set_with_dirty_dma_lines(self):
+        """Regression: prewarming a cache whose sets are already full
+        of core lines must still leave ``ddio_ways`` dirty DMA lines in
+        every set (the old code trimmed the tail *after* installing,
+        deleting the lines it had just added)."""
+        llc = make(size_kb=4, ways=4, ddio_ways=2)
+        n_sets = llc.n_sets
+        for s in range(n_sets):  # fill every way of every set
+            for w in range(llc.ways):
+                llc.lookup_read(s + w * n_sets)
+        llc.prewarm_ddio(base_line=1 << 20)
+        for s, lines in enumerate(llc._sets):
+            dma = [ln for ln in lines if ln.is_dma]
+            assert len(lines) <= llc.ways
+            assert len(dma) == llc.ddio_ways, f"set {s}: {len(dma)} DMA lines"
+            assert all(ln.dirty for ln in dma)
+
+    def test_prewarm_addresses_are_set_congruent(self):
+        """Regression: synthetic prewarm addresses must map to the set
+        they are installed in (the old sequential ``addr += 1`` walk
+        put almost every line in a foreign set)."""
+        llc = make(size_kb=4, ways=4, ddio_ways=2)
+        llc.prewarm_ddio(base_line=(1 << 20) + 13)  # non-aligned base
+        assert llc.verify_tags() == llc.n_sets * llc.ddio_ways
+
+    def test_prewarm_is_idempotent(self):
+        llc = make(size_kb=4, ways=4, ddio_ways=2)
+        llc.prewarm_ddio(base_line=1 << 20)
+        first = llc.dma_lines()
+        llc.prewarm_ddio(base_line=1 << 20)
+        assert llc.dma_lines() == first == llc.n_sets * llc.ddio_ways
+        llc.verify_tags()
+
+    def test_prewarm_evicts_core_lru_not_mru(self):
+        llc = make(size_kb=1, ways=2, ddio_ways=1)
+        n_sets = llc.n_sets
+        lru, mru = 3 * n_sets, 4 * n_sets
+        llc.lookup_read(lru)
+        llc.lookup_read(mru)
+        llc.prewarm_ddio(base_line=1 << 20)
+        assert llc.lookup_read(mru)[0]  # survivor
+        assert not llc.lookup_read(lru)[0]
+
+
+class TestVerifyTags:
+    def test_clean_cache_passes(self):
+        llc = make()
+        llc.lookup_read(17)
+        llc.write_allocate_ddio(23)
+        assert llc.verify_tags() == 2
+
+    def test_foreign_set_line_raises(self):
+        llc = make(size_kb=1, ways=2)
+        llc.lookup_read(0)
+        llc._sets[1].append(llc._sets[0].pop(0))  # corrupt: wrong set
+        with pytest.raises(AssertionError):
+            llc.verify_tags()
+
+    def test_duplicate_tag_raises(self):
+        llc = make(size_kb=1, ways=2)
+        llc.lookup_read(0)
+        from repro.uncore.llc import _Line
+
+        llc._sets[0].append(_Line(0, dirty=False, is_dma=False))
+        with pytest.raises(AssertionError):
+            llc.verify_tags()
+
+
 class TestWritebackUpdate:
     def test_resident_line_marked_dirty(self):
         llc = make(size_kb=1, ways=1, ddio_ways=1)

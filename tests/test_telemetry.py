@@ -224,3 +224,27 @@ class TestBankDeviationCdf:
         samples = [1.0, 1.2, 1.7, 2.3, 3.1]
         _, f = bank_deviation_cdf(samples, grid=[1.0, 1.5, 2.0, 2.5, 3.0, 3.5])
         assert all(f[i] <= f[i + 1] for i in range(len(f) - 1))
+
+    def test_numpy_off_path_with_grid(self, monkeypatch):
+        """The pure-python fallback must agree with numpy on an
+        explicit grid and return plain lists."""
+        import repro.telemetry.bankstats as bankstats
+
+        samples = [1.0, 2.0, 3.0, 4.0]
+        grid = [0.5, 2.5, 4.0, 5.0]
+        ref_x, ref_f = bank_deviation_cdf(samples, grid=grid)
+        monkeypatch.setattr(bankstats, "np", None)
+        x, f = bank_deviation_cdf(samples, grid=grid)
+        assert isinstance(x, list) and isinstance(f, list)
+        assert x == [0.5, 2.5, 4.0, 5.0]
+        assert f == [0.0, 0.5, 1.0, 1.0]
+        assert list(ref_x) == x and [float(v) for v in ref_f] == f
+
+    def test_numpy_off_path_without_grid(self, monkeypatch):
+        import repro.telemetry.bankstats as bankstats
+
+        monkeypatch.setattr(bankstats, "np", None)
+        x, f = bank_deviation_cdf([3.0, 1.0, 2.0])
+        assert x == [1.0, 2.0, 3.0]
+        assert f == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+        assert bank_deviation_cdf([]) == ([], [])
