@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos py310-check lint fig03-check
+.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos ckpt py310-check lint fig03-check
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -67,12 +67,20 @@ fig03-check:
 chaos:
 	$(PYTHON) tools/chaos_check.py
 
+# Checkpoint tier: one fig03 point is SIGTERM-killed at two successive
+# checkpoints and resumed across real processes; the twice-resumed
+# RunResult must be bit-identical to the committed fingerprint, with
+# the DRAM kernel on and off (tools/ckpt_check.py).
+ckpt:
+	$(PYTHON) tools/ckpt_check.py
+
 # PR smoke gate: lint + version-floor gates, tier-1 tests plus
 # smoke-scale benches, exercising the parallel sweep path
 # (REPRO_JOBS=2) against a cold cache — once plain and once with
 # runtime invariant checking (REPRO_VALIDATE=1), which must pass with
 # zero violations — the fig03 bit-exactness gate, the engine perf
-# gate, the kernel perf tier, and the chaos tier.
+# gate, the kernel perf tier, the chaos tier, and the checkpoint
+# kill/resume tier.
 check: py310-check lint
 	$(PYTHON) -m pytest -x -q tests/
 	$(PYTHON) tools/fig03_check.py
@@ -84,3 +92,4 @@ check: py310-check lint
 		REPRO_CACHE_DIR=$$(mktemp -d) \
 		$(PYTHON) -m pytest -q benchmarks/ --benchmark-only
 	$(PYTHON) tools/chaos_check.py
+	$(PYTHON) tools/ckpt_check.py

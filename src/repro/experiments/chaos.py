@@ -13,7 +13,13 @@ cluster misbehaves. This module injects the faults the supervisor
   retry recovers from;
 * **corrupt** — a freshly written run-cache entry is truncated on
   disk, exercising the checksum/quarantine path in
-  :mod:`repro.experiments.runcache`.
+  :mod:`repro.experiments.runcache`;
+* **preempt** — the task is checkpoint-preempted mid-simulation at a
+  deterministic (hashed) event count, exactly like a SIGTERM landing
+  mid-run: the worker writes a checkpoint, exits with
+  ``checkpoint.PREEMPT_EXIT_CODE``, and the retried attempt resumes
+  from the blob — converging to the bit-identical fault-free result
+  (:mod:`repro.sim.checkpoint`).
 
 Injection is **deterministic**: every decision is a pure hash of
 ``(seed, fault kind, task identity, attempt number)``, so a chaotic
@@ -27,12 +33,12 @@ list, e.g.::
 
     REPRO_CHAOS="kill=0.1,exc=0.3,corrupt=0.25,seed=7"
 
-Keys: ``kill``/``hang``/``exc``/``corrupt`` (probabilities in [0, 1]),
-``seed`` (int), ``hang_s`` (hang duration, default 30 s) and
-``attempts`` (inject on attempt numbers below this, default 1).
-Kills and hangs fire only inside pool workers — in-process (serial)
-execution injects only transient exceptions, so chaos can never take
-down the orchestrating process itself.
+Keys: ``kill``/``hang``/``exc``/``corrupt``/``preempt``
+(probabilities in [0, 1]), ``seed`` (int), ``hang_s`` (hang duration,
+default 30 s) and ``attempts`` (inject on attempt numbers below this,
+default 1). Kills, hangs and preempts fire only inside pool workers —
+in-process (serial) execution injects only transient exceptions, so
+chaos can never take down the orchestrating process itself.
 """
 
 from __future__ import annotations
@@ -47,7 +53,7 @@ from typing import Dict, Optional
 #: exit status used for injected worker kills (visible in pool logs)
 KILL_EXIT_CODE = 73
 
-_FLOAT_KEYS = ("kill", "hang", "exc", "corrupt", "hang_s")
+_FLOAT_KEYS = ("kill", "hang", "exc", "corrupt", "preempt", "hang_s")
 _INT_KEYS = ("seed", "attempts")
 
 
@@ -63,6 +69,7 @@ class ChaosConfig:
     hang: float = 0.0
     exc: float = 0.0
     corrupt: float = 0.0
+    preempt: float = 0.0
     seed: int = 0
     hang_s: float = 30.0
     attempts: int = 1
@@ -99,7 +106,7 @@ def parse(spec: str) -> Optional[ChaosConfig]:
             raise ValueError(
                 f"REPRO_CHAOS {key} must be numeric, got {raw!r}"
             ) from exc
-    for key in ("kill", "hang", "exc", "corrupt"):
+    for key in ("kill", "hang", "exc", "corrupt", "preempt"):
         p = values.get(key, 0.0)
         if not 0.0 <= float(p) <= 1.0:  # type: ignore[arg-type]
             raise ValueError(f"REPRO_CHAOS {key} must be in [0, 1], got {p}")
@@ -148,6 +155,19 @@ def maybe_inject(identity: str, attempt: int, in_worker: bool) -> None:
         os._exit(KILL_EXIT_CODE)
     if in_worker and roll(cfg, "hang", identity, attempt):
         time.sleep(cfg.hang_s)
+    if in_worker and roll(cfg, "preempt", identity, attempt):
+        # Arm a checkpoint-preemption at a deterministic event count
+        # (hashed independently of the fire/no-fire roll so the kill
+        # point varies across tasks). Fires inside Host.run's chunked
+        # drive; if the task's simulation never reaches the count the
+        # arm is cleared at task end — a no-op.
+        from repro.sim import checkpoint
+
+        digest = hashlib.sha256(
+            f"{cfg.seed}|preempt-at|{identity}|{attempt}".encode()
+        ).digest()
+        events = 1_000 + int.from_bytes(digest[:4], "big") % 40_000
+        checkpoint.arm_preempt(events, exit_process=True)
     if roll(cfg, "exc", identity, attempt):
         raise ChaosError(
             f"injected transient fault (task {identity[:12]}, "

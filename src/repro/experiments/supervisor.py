@@ -24,7 +24,14 @@ alive when individual tasks fail. It adds, on top of the plain pool:
   task's status/attempts as JSON lines and its result as a
   checksummed pickle, so an interrupted suite resumes without
   recomputing finished runs — even for calls the content-keyed run
-  cache cannot key, or with ``REPRO_CACHE=off``.
+  cache cannot key, or with ``REPRO_CACHE=off``;
+* **mid-run checkpoint resume** (:mod:`repro.sim.checkpoint`) — when
+  checkpointing, task timeouts or chaos ``preempt`` faults are in
+  play, each task gets a per-digest checkpoint file next to the
+  journal. A timed-out task's SIGTERM (pool teardown) makes the
+  worker checkpoint-and-exit mid-simulation; the retried attempt
+  resumes from the blob instead of recomputing, bit-identical, and
+  the journal records the checkpoint lineage (``preempted`` entries).
 
 Failures are structured :class:`TaskFailure` records (description,
 attempt outcomes, timings, traceback digest). Recovered failures ride
@@ -54,6 +61,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import chaos, runcache
+from repro.sim import checkpoint
 
 #: a unit of work: (callable, positional args, keyword args)
 Call = Tuple[Callable[..., Any], tuple, dict]
@@ -379,7 +387,13 @@ class Journal:
             return False
         return True
 
-    def record(self, task: _Task, status: str, stored: bool = False) -> None:
+    def record(
+        self,
+        task: _Task,
+        status: str,
+        stored: bool = False,
+        ckpt: Optional[str] = None,
+    ) -> None:
         entry = {
             "task": task.digest,
             "desc": task.desc,
@@ -389,6 +403,8 @@ class Journal:
             "outcomes": list(task.outcomes),
             "elapsed_s": round(task.elapsed, 6),
         }
+        if ckpt is not None:
+            entry["ckpt"] = ckpt
         self._records[task.digest] = entry
         try:
             with open(self.log, "a", encoding="utf-8") as fh:
@@ -402,11 +418,27 @@ class Journal:
 # ----------------------------------------------------------------------
 
 
-def _execute_payload(payload: bytes, identity: str, attempt: int) -> Any:
-    """Worker-side entry point: chaos hook, then the task itself."""
-    chaos.maybe_inject(identity, attempt, in_worker=True)
-    fn, args, kwargs = pickle.loads(payload)
-    return fn(*args, **kwargs)
+def _execute_payload(
+    payload: bytes,
+    identity: str,
+    attempt: int,
+    ckpt_path: Optional[str] = None,
+) -> Any:
+    """Worker-side entry point: chaos hook, then the task itself.
+
+    ``ckpt_path`` is the task's per-digest checkpoint file (inside the
+    journal directory): ``Host.run`` resumes from it if a previous
+    attempt was preempted mid-run, and writes to it when this attempt
+    is preempted (SIGTERM from a pool teardown, or the chaos
+    ``preempt`` fault).
+    """
+    checkpoint.begin_task(ckpt_path)
+    try:
+        chaos.maybe_inject(identity, attempt, in_worker=True)
+        fn, args, kwargs = pickle.loads(payload)
+        return fn(*args, **kwargs)
+    finally:
+        checkpoint.end_task()
 
 
 def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -437,6 +469,30 @@ class _RunContext:
     recovered: List[TaskFailure] = field(default_factory=list)
 
 
+def _ckpt_path(ctx: _RunContext, task: _Task) -> Optional[str]:
+    """The task's checkpoint file, when mid-run resume is in play.
+
+    Checkpoints live next to the journal (they are its mid-run
+    extension: the journal resumes finished tasks, the checkpoint
+    resumes the interrupted one) and are enabled when the environment
+    asks for checkpointing, when task timeouts can preempt runs, or
+    when chaos injects ``preempt`` faults.
+    """
+    if ctx.journal is None or not task.digest:
+        return None
+    if not checkpoint.preemption_wanted(ctx.config.task_timeout_s):
+        return None
+    return str(ctx.journal.root / f"{task.digest}.ckpt")
+
+
+def _note_checkpoint(ctx: _RunContext, task: _Task) -> None:
+    """Journal the checkpoint lineage of an interrupted attempt."""
+    path = _ckpt_path(ctx, task)
+    if path is None or not os.path.exists(path):
+        return
+    ctx.journal.record(task, "preempted", ckpt=os.path.basename(path))
+
+
 def _record_failure(
     ctx: _RunContext,
     task: _Task,
@@ -457,6 +513,7 @@ def _record_failure(
     task.last_kind = kind
     task.exception = exc
     task.failures += 1
+    _note_checkpoint(ctx, task)
     if task.failures <= ctx.config.retries:
         stats.retries += 1
         retry_cb(task)
@@ -475,6 +532,12 @@ def _complete(ctx: _RunContext, task: _Task, value: Any) -> None:
     if ctx.journal is not None:
         stored = ctx.journal.store_result(task.digest, value)
         ctx.journal.record(task, "done", stored=stored)
+    path = _ckpt_path(ctx, task)
+    if path is not None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
     if task.failures > 0:
         failure = _failure_of(task, recovered=True)
         ctx.recovered.append(failure)
@@ -497,18 +560,25 @@ def _run_serial(tasks: Sequence[_Task], ctx: _RunContext) -> None:
 
     for task in sorted(tasks, key=lambda t: t.index):
         task.mode = "serial"
+        ckpt_path = _ckpt_path(ctx, task)
         while not task.done and not task.failed:
             start = time.monotonic()
             fn, args, kwargs = task.call
+            checkpoint.begin_task(ckpt_path)
             try:
                 chaos.maybe_inject(task.digest, task.failures, in_worker=False)
                 value = fn(*args, **kwargs)
             except Exception as exc:
+                # A checkpoint.Preempted lands here too: the attempt
+                # counts as an ordinary error and the retry resumes
+                # from the blob the preemption wrote.
                 task.elapsed += time.monotonic() - start
                 _record_failure(ctx, task, "error", exc, retry_later)
             else:
                 task.elapsed += time.monotonic() - start
                 _complete(ctx, task, value)
+            finally:
+                checkpoint.end_task()
 
 
 def _run_pool(
@@ -569,7 +639,11 @@ def _run_pool(
                     )
                 try:
                     future = pool.submit(
-                        _execute_payload, task.payload, task.digest, task.failures
+                        _execute_payload,
+                        task.payload,
+                        task.digest,
+                        task.failures,
+                        _ckpt_path(ctx, task),
                     )
                 except BrokenProcessPool:
                     # Pool died between rounds: rebuild on next pass.

@@ -43,7 +43,7 @@ from __future__ import annotations
 import math
 import os
 from heapq import heappop, heappush
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 _INF = float("inf")
 
@@ -152,18 +152,42 @@ class Simulator:
         hot-path counter.
         """
         count = 0
-        for bucket in self._buckets.values():
-            if bucket.__class__ is list:
-                for entry in bucket:
-                    if entry.__class__ is _Chain:
-                        count += len(entry.argslist) - entry.idx
-                    else:
-                        count += 1
-            elif bucket.__class__ is _Chain:
-                count += len(bucket.argslist) - bucket.idx
+        for _, entry in self.pending_entries():
+            if entry.__class__ is _Chain:
+                count += len(entry.argslist) - entry.idx
             else:
                 count += 1
         return count
+
+    def pending_entries(self) -> "Iterator[tuple]":
+        """Yield every pending ``(instant, entry)`` pair.
+
+        The canonical observer of scheduler state, shared by the heap
+        and wheel engines (the bucket layer is common to both): entries
+        surface in bucket (submission) order within an instant, though
+        instants themselves come out in dict order, not time order.
+        Entries keep their raw shapes — ``(fn, args)`` tuples,
+        :class:`Event` handles (cancelled ones included) and
+        :class:`_Chain` anchors (whose live size is
+        ``len(argslist) - idx``). Read-only: mutating the schedule
+        while iterating is undefined.
+        """
+        for time, bucket in self._buckets.items():
+            if bucket.__class__ is list:
+                for entry in bucket:
+                    yield time, entry
+            else:
+                yield time, bucket
+
+    def pending_instants(self) -> list:
+        """Every distinct pending instant registered in the index.
+
+        For the heap engine this is the heap itself; the wheel engine
+        overrides it to also gather slot-resident instants. Unordered;
+        an instant appears exactly once per index registration, so the
+        validation layer can cross-check the index against the buckets.
+        """
+        return list(self._heap)
 
     @property
     def pending_live(self) -> int:
@@ -441,6 +465,24 @@ class Simulator:
             self._cancelled = 0
 
 
+class SimClock:
+    """A picklable ``() -> sim.now`` callable.
+
+    Components that need a clock closure must not capture it as a
+    lambda — the whole object graph has to survive checkpoint pickling
+    (``sim/checkpoint.py``), and a bound ``SimClock`` pickles by
+    reference to the simulator it reads.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def __call__(self) -> float:
+        return self._sim.now
+
+
 def wheel_enabled() -> bool:
     """Whether ``REPRO_WHEEL`` asks for the calendar-queue simulator.
 
@@ -517,6 +559,13 @@ class WheelSimulator(Simulator):
         self._cursor = 0
         #: instants currently filed in wheel slots (vs. the overflow heap)
         self._n_wheel = 0
+
+    def pending_instants(self) -> list:
+        """Overflow-heap instants plus every slot-resident instant."""
+        instants = list(self._heap)
+        for slot in self._wheel:
+            instants.extend(slot)
+        return instants
 
     def _file_instant(self, time: float) -> None:
         """Register a newly-pending instant in the wheel (or, beyond

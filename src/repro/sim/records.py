@@ -235,3 +235,26 @@ def release_request(req: Request) -> None:
     req.tag = None
     if _POOL_ENABLED and len(_POOL) < _POOL_CAP:
         _POOL.append(req)
+
+
+def snapshot_pool() -> List[Request]:
+    """The free list, in order, for checkpointing.
+
+    The pool is module state, invisible to a Host pickle, yet it
+    steers which object ``acquire_request`` hands out next — a resumed
+    run must replay the exact acquire sequence, so the checkpoint
+    captures the list (a shallow copy; the Requests themselves ride
+    along in the same pickle as the host graph, preserving identity).
+    """
+    return list(_POOL)
+
+
+def restore_pool(entries: List[Request]) -> None:
+    """Reinstall a checkpointed free list (see :func:`snapshot_pool`)."""
+    _POOL.clear()
+    _POOL.extend(entries)
+
+
+def pool_enabled() -> bool:
+    """Whether request recycling is on (the ``REPRO_POOL`` knob)."""
+    return _POOL_ENABLED

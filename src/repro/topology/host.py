@@ -24,8 +24,9 @@ from repro.pcie.device import DmaDevice, SequentialDmaWorkload
 from repro.pcie.link import PcieLink
 from repro.pcie.nic import Nic
 from repro.pcie.nvme import NvmeDevice
+from repro.sim import checkpoint, watchdog
 from repro.sim.credit import DomainSnapshot, DomainTracker
-from repro.sim.engine import make_simulator
+from repro.sim.engine import SimClock, make_simulator
 from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
 from repro.telemetry.counters import CounterHub
 from repro.topology.presets import HostConfig
@@ -272,7 +273,7 @@ class Host:
             self.domains.register(DomainKind.LLC_DDIO, pool)
             self.llc.attach_ddio_pool(
                 pool,
-                clock=lambda: self.sim.now,
+                clock=SimClock(self.sim),
                 latency=self.hub.latency("domain.llc_ddio.dma"),
             )
             # Steady state: the DDIO ways are already full of dirty
@@ -287,6 +288,8 @@ class Host:
         self.devices: Dict[str, DmaDevice] = {}
         self._workloads: Dict[str, List[MemoryWorkload]] = {}
         self._started = False
+        #: mid-run cursor set by checkpoint restore (see Host.restore)
+        self._resume_state: Optional[checkpoint.RunState] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -491,25 +494,139 @@ class Host:
         self.link.reset_stats(now)
 
     def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 80_000.0) -> RunResult:
-        """Warm up, measure, and collect results."""
+        """Warm up, measure, and collect results.
+
+        When a checkpoint plan is active (``REPRO_CKPT`` /
+        ``REPRO_CKPT_PATH`` / a supervisor-provided per-task path) the
+        windows are driven in event chunks with periodic snapshots,
+        SIGTERM checkpoints-and-stops, and an existing checkpoint for
+        this exact run resumes instead of recomputing;
+        ``REPRO_WATCHDOG`` adds livelock detection. All of it is
+        result-invisible: the chunked drive dispatches the identical
+        event sequence, so the RunResult stays bit-identical.
+        """
+        plan = checkpoint.active_plan()
+        if plan is not None:
+            key = checkpoint.run_key(self, warmup_ns, measure_ns)
+            resumed = checkpoint.try_resume(plan.path, key)
+            if resumed is not None:
+                return resumed._run_phases(resumed._resume_state, plan)
+        else:
+            key = ""
         self.start()
-        if warmup_ns > 0:
-            self.sim.run_until(self.sim.now + warmup_ns)
-        self.reset_measurement()
-        if self._validator is not None:
-            self._validator.begin_window(self)
-        t_start = self.sim.now
-        events_before = self.sim.events_processed
-        wall_before = time.perf_counter()
-        self.sim.run_until(t_start + measure_ns)
-        wall_s = time.perf_counter() - wall_before
-        result = self.collect(self.sim.now - t_start)
-        result.events_processed = self.sim.events_processed - events_before
+        state = checkpoint.RunState(
+            run_key=key,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            phase="warmup",
+            t_end=self.sim.now + warmup_ns,
+        )
+        return self._run_phases(state, plan)
+
+    @classmethod
+    def restore(cls, path) -> "Host":
+        """Rebuild a live host from a checkpoint file.
+
+        Verifies the blob (checksum + knob fingerprint), reinstalls
+        module-level state (the Request free list) and — when
+        ``REPRO_VALIDATE=1`` — runs the structural post-restore
+        invariant walk. The returned host carries the interrupted
+        run's cursor: finish it with :meth:`resume_run` for a
+        RunResult bit-identical to the uninterrupted run.
+        """
+        payload = checkpoint.load(path)
+        return checkpoint.restore_payload(payload)
+
+    def resume_run(self) -> RunResult:
+        """Finish an interrupted :meth:`run` after :meth:`restore`."""
+        state = self._resume_state
+        if state is None:
+            raise RuntimeError("nothing to resume: host was not restored mid-run")
+        return self._run_phases(state, checkpoint.active_plan())
+
+    def _run_phases(
+        self,
+        state: "checkpoint.RunState",
+        plan: Optional["checkpoint.CheckpointPlan"],
+    ) -> RunResult:
+        """Drive the warmup/measure windows recorded in ``state``.
+
+        Entered fresh (phase ``warmup``, nothing run yet) or resumed
+        (either phase, clock mid-window): the state cursor carries
+        everything needed to continue exactly where the interrupted
+        run stopped.
+        """
+        wd = watchdog.from_env()
+        # The SIGTERM-to-checkpoint handler covers both windows (and
+        # the gap between them); the flag it sets is only acted on at
+        # chunk boundaries inside _drive.
+        with checkpoint.sigterm_to_checkpoint(enabled=plan is not None):
+            if state.phase == "warmup":
+                if state.t_end > self.sim.now:
+                    self._drive(state.t_end, plan, wd, state)
+                self.reset_measurement()
+                if self._validator is not None:
+                    self._validator.begin_window(self)
+                state.phase = "measure"
+                state.t_start = self.sim.now
+                state.events_before = self.sim.events_processed
+                state.t_end = state.t_start + state.measure_ns
+            wall_before = time.perf_counter()
+            self._drive(state.t_end, plan, wd, state)
+            wall_s = time.perf_counter() - wall_before
+        result = self.collect(self.sim.now - state.t_start)
+        result.events_processed = self.sim.events_processed - state.events_before
         result.sim_wall_s = wall_s
         result.events_per_sec = result.events_processed / wall_s if wall_s > 0 else 0.0
         if self._validator is not None:
             result.invariant_checks = self._validator.end_window(self)
+        if plan is not None:
+            plan.discard()
+        self._resume_state = None
         return result
+
+    def _drive(
+        self,
+        t_end: float,
+        plan: Optional["checkpoint.CheckpointPlan"],
+        wd: Optional["watchdog.Watchdog"],
+        state: "checkpoint.RunState",
+    ) -> None:
+        """Advance the clock to ``t_end``, plain or in event chunks.
+
+        With neither a checkpoint plan nor a watchdog this is exactly
+        ``sim.run_until`` — zero overhead on the default path. The
+        chunked path dispatches the identical event sequence (the
+        engine re-files partially-dispatched buckets in submission
+        order), probing for snapshots, preemption and stalls only at
+        chunk boundaries.
+        """
+        sim = self.sim
+        if plan is None and wd is None:
+            sim.run_until(t_end)
+            return
+        if not t_end >= sim.now:
+            raise ValueError(f"cannot run backwards (t_end={t_end}, now={sim.now})")
+        chunk = checkpoint.CHUNK_EVENTS
+        if plan is not None:
+            plan.arm(sim)
+        if wd is not None:
+            wd.arm(sim)
+        while True:
+            executed = sim._drain_limited(t_end, chunk)
+            if plan is not None:
+                reason = checkpoint.preempt_reason(sim)
+                if reason is not None:
+                    checkpoint.execute_preempt(self, state, plan, reason)
+                if plan.due(sim):
+                    plan.advance(sim)
+                    state.seq += 1
+                    checkpoint.save(self, state, plan.path)
+            if wd is not None:
+                wd.observe(self)
+            if executed < chunk:
+                break
+        sim.run_until(t_end)
 
     # ------------------------------------------------------------------
     # Collection

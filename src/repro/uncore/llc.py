@@ -65,6 +65,11 @@ class _Line:
         self.t_install = 0.0
 
 
+def _zero_clock() -> float:
+    """Default clock before :meth:`LastLevelCache.attach_ddio_pool`."""
+    return 0.0
+
+
 class LastLevelCache:
     """Set-associative LLC model with a DDIO way budget.
 
@@ -91,7 +96,9 @@ class LastLevelCache:
         # DMA-tagged line holds one llc.ddio credit while resident.
         self._ddio_pool: Optional["CreditPool"] = None
         self._ddio_latency: Optional["LatencyStat"] = None
-        self._clock: Callable[[], float] = lambda: 0.0
+        # Module-level function, not a lambda: the LLC must survive
+        # checkpoint pickling (sim/checkpoint.py).
+        self._clock: Callable[[], float] = _zero_clock
 
     @property
     def size_bytes(self) -> int:

@@ -238,13 +238,11 @@ def verify_heap(sim: Simulator) -> int:
                 )
     # A WheelSimulator splits the instant index: near-future instants
     # live in wheel slots (each a mini-heap), far-future ones in the
-    # overflow heap checked above. Gather both halves before the
-    # index/bucket synchronisation check.
+    # overflow heap checked above. Check the wheel-specific placement
+    # invariants here; the index/bucket synchronisation below uses the
+    # engines' canonical pending_instants() view of both halves.
     wheel = getattr(sim, "_wheel", None)
-    if wheel is None:
-        instants = heap
-    else:
-        instants = list(heap)
+    if wheel is not None:
         n_slots = sim._n_slots
         inv = sim._inv_width
         cursor = sim._cursor
@@ -284,7 +282,6 @@ def verify_heap(sim: Simulator) -> int:
                         details={"slot": pos, "idx": idx, "cursor": cursor},
                     )
             in_wheel += m
-            instants.extend(slot)
         if in_wheel != sim._n_wheel:
             raise InvariantViolation(
                 "engine",
@@ -300,7 +297,8 @@ def verify_heap(sim: Simulator) -> int:
                     f"overflow instant t={time} is behind the cursor",
                     details={"cursor": cursor},
                 )
-        n = len(instants)
+    instants = sim.pending_instants()
+    n = len(instants)
     if n != len(buckets) or len(set(instants)) != n or set(instants) != set(buckets):
         raise InvariantViolation(
             "engine",
@@ -308,37 +306,36 @@ def verify_heap(sim: Simulator) -> int:
             "pending instants in the index disagree with the buckets",
             details={"index": n, "buckets": len(buckets)},
         )
-    total = 0
-    live = 0
     for time, bucket in buckets.items():
-        entries = bucket if bucket.__class__ is list else (bucket,)
-        if not entries:
+        if bucket.__class__ is list and not bucket:
             raise InvariantViolation(
                 "engine",
                 "heap-bucket-sync",
                 f"pending instant t={time} owns an empty bucket",
             )
-        for entry in entries:
-            _check_shape(entry)
-            cls = entry.__class__
-            if cls is Event:
-                total += 1
-                if entry.time != time:
-                    raise InvariantViolation(
-                        "engine",
-                        "heap-entry-shape",
-                        "Event wrapper disagrees with its bucket instant",
-                        details={"bucket": time, "event": entry.time},
-                    )
-                if not entry.cancelled:
-                    live += 1
-            elif cls is _Chain:
-                members = len(entry.argslist) - entry.idx
-                total += members
-                live += members
-            else:
-                total += 1
+    total = 0
+    live = 0
+    for time, entry in sim.pending_entries():
+        _check_shape(entry)
+        cls = entry.__class__
+        if cls is Event:
+            total += 1
+            if entry.time != time:
+                raise InvariantViolation(
+                    "engine",
+                    "heap-entry-shape",
+                    "Event wrapper disagrees with its bucket instant",
+                    details={"bucket": time, "event": entry.time},
+                )
+            if not entry.cancelled:
                 live += 1
+        elif cls is _Chain:
+            members = len(entry.argslist) - entry.idx
+            total += members
+            live += members
+        else:
+            total += 1
+            live += 1
     if live != sim.pending_live:
         raise InvariantViolation(
             "engine",

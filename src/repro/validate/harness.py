@@ -328,10 +328,13 @@ def chaos_differential_point(
     deterministic ``REPRO_CHAOS`` injection with retries enabled —
     each against its own throwaway cache directory so every fault
     actually fires instead of being absorbed by a warm cache — and
-    demands the two sweeps agree float-for-float. Returns
-    ``(baseline_points, chaotic_points, recovered_failures)``; the
-    default spec injects a transient exception into *every* task
-    (``exc=1``), so the recovered-failure list is never empty.
+    demands the two sweeps agree float-for-float. The chaotic pass
+    gets a throwaway journal directory, so ``preempt`` faults (which
+    checkpoint mid-simulation and resume on retry) work out of the
+    box. Returns ``(baseline_points, chaotic_points,
+    recovered_failures)``; the default spec injects a transient
+    exception into *every* task (``exc=1``), so the recovered-failure
+    list is never empty.
     """
     from repro.experiments.supervisor import stats
 
@@ -340,7 +343,8 @@ def chaos_differential_point(
                           REPRO_CACHE="on"):
             baseline = experiment.sweep([n_cores], warmup, measure, jobs=1)
     n_recovered = len(stats.recovered_failures)
-    with tempfile.TemporaryDirectory() as chaotic_dir:
+    with tempfile.TemporaryDirectory() as chaotic_dir, \
+            tempfile.TemporaryDirectory() as journal_dir:
         with _environment(
             REPRO_CHAOS=chaos,
             REPRO_CACHE_DIR=chaotic_dir,
@@ -348,6 +352,7 @@ def chaos_differential_point(
             REPRO_RETRIES=str(retries),
             REPRO_TASK_TIMEOUT=str(task_timeout) if task_timeout else None,
             REPRO_BACKOFF="0.01",
+            REPRO_JOURNAL_DIR=journal_dir,
         ):
             chaotic = experiment.sweep([n_cores], warmup, measure, jobs=jobs)
     recovered = stats.recovered_failures[n_recovered:]
@@ -364,6 +369,60 @@ def chaos_differential_point(
             f"(spec {chaos!r} never fired)"
         )
     return baseline, chaotic, recovered
+
+
+def resume_differential(
+    build_host: Any,
+    warmup: float,
+    measure: float,
+    at_events: Any,
+    context: str = "",
+) -> Tuple[Any, List[Dict[str, Any]]]:
+    """Interrupted-and-resumed runs must be bit-identical to straight-through.
+
+    ``build_host`` is a zero-argument callable returning a fresh,
+    fully-built :class:`~repro.topology.host.Host`. The baseline runs
+    uninterrupted; then, for each event count in ``at_events``, a
+    fresh host is preempted in-process at that count
+    (checkpoint-and-raise), restored from the blob via
+    ``Host.restore`` and driven to completion with ``resume_run``.
+    Every resumed RunResult is asserted float-identical to the
+    baseline. Returns ``(baseline_result, fingerprints)`` where
+    ``fingerprints`` are the :func:`result_fingerprint`\\ s of the
+    resumed runs (each equal to the baseline's, by construction).
+    """
+    from repro.sim import checkpoint
+    from repro.topology.host import Host
+
+    baseline = build_host().run(warmup, measure)
+    base_fp = result_fingerprint(baseline)
+    fingerprints: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "host.ckpt")
+        for events in at_events:
+            with _environment(REPRO_CKPT_PATH=path, REPRO_CKPT=None):
+                try:
+                    checkpoint.arm_preempt(int(events), exit_process=False)
+                    try:
+                        result = build_host().run(warmup, measure)
+                        # The run finished before the armed count —
+                        # nothing was interrupted; still a valid
+                        # differential point.
+                    except checkpoint.Preempted:
+                        result = Host.restore(path).resume_run()
+                finally:
+                    checkpoint.disarm_preempt()
+            where = f"{context}: " if context else ""
+            assert_results_identical(
+                baseline, result, context=f"{where}resume at event {events}"
+            )
+            fp = result_fingerprint(result)
+            if fp != base_fp:
+                raise AssertionError(
+                    f"{where}resumed fingerprint diverges at event {events}"
+                )
+            fingerprints.append(fp)
+    return baseline, fingerprints
 
 
 def _with_validate(experiment: Any) -> Any:

@@ -102,6 +102,32 @@ class Validator:
         self.check_domains(host)
         return self.checks_passed
 
+    def post_restore(self, host: "Host") -> int:
+        """Structural walk over a checkpoint-restored host.
+
+        Run automatically by ``Host.restore()`` under
+        ``REPRO_VALIDATE=1``: heap/wheel structure (verify_heap), pool
+        bounds and credit conservation, CHA/LLC (``verify_tags``) /
+        channel (kernel ``verify_consistency``) / PCIe accounting. The
+        statistical probes (Little's law, domain bounds) are skipped —
+        the restore point is mid-window, where their rate identities
+        are not yet meaningful. Returns the cumulative checks-passed
+        count.
+        """
+        if not self._snapshot:
+            # Restored mid-warmup: no measurement window is open, but
+            # credit conservation still holds from t=0 (the counters
+            # and occupancy have moved together since construction),
+            # so the uniform pool walk applies with a zero snapshot.
+            self._t0 = host.sim.now
+        self.check_engine(host)
+        self.check_credit_pools(host)
+        self.check_cha(host)
+        self.check_llc(host)
+        self.check_channels(host)
+        self.check_pcie(host)
+        return self.checks_passed
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -41,9 +41,13 @@ class TestSpecParsing:
         assert not chaos.enabled()
 
     def test_full_spec_parses(self):
-        cfg = chaos.parse("kill=0.1,hang=0.2,exc=0.3,corrupt=0.4,seed=7,hang_s=5,attempts=2")
+        cfg = chaos.parse(
+            "kill=0.1,hang=0.2,exc=0.3,corrupt=0.4,preempt=0.5,"
+            "seed=7,hang_s=5,attempts=2"
+        )
         assert cfg == ChaosConfig(
-            kill=0.1, hang=0.2, exc=0.3, corrupt=0.4, seed=7, hang_s=5.0, attempts=2
+            kill=0.1, hang=0.2, exc=0.3, corrupt=0.4, preempt=0.5,
+            seed=7, hang_s=5.0, attempts=2,
         )
 
     def test_env_is_cached_by_spec(self, monkeypatch):
@@ -98,6 +102,37 @@ class TestInjection:
     def test_kill_and_hang_never_fire_in_process(self, monkeypatch):
         monkeypatch.setenv("REPRO_CHAOS", "kill=1,hang=1,hang_s=60,seed=3")
         chaos.maybe_inject("task", 0, in_worker=False)  # would exit/hang
+
+    def test_preempt_arms_checkpoint_in_worker_only(self, monkeypatch):
+        from repro.sim import checkpoint
+
+        monkeypatch.setenv("REPRO_CHAOS", "preempt=1,seed=3")
+        try:
+            chaos.maybe_inject("task", 0, in_worker=False)
+            assert checkpoint._ARMED_AT is None  # serial path never arms
+            chaos.maybe_inject("task", 0, in_worker=True)
+            assert checkpoint._ARMED_AT is not None
+            assert 1_000 <= checkpoint._ARMED_AT < 41_000
+            assert checkpoint._EXIT_ON_PREEMPT  # worker exits 75, pool requeues
+        finally:
+            checkpoint.disarm_preempt()
+
+    def test_preempt_event_count_is_deterministic(self, monkeypatch):
+        from repro.sim import checkpoint
+
+        monkeypatch.setenv("REPRO_CHAOS", "preempt=1,seed=3")
+        armed = []
+        try:
+            for _ in range(2):
+                chaos.maybe_inject("task", 0, in_worker=True)
+                armed.append(checkpoint._ARMED_AT)
+                checkpoint.disarm_preempt()
+            chaos.maybe_inject("other-task", 0, in_worker=True)
+            armed.append(checkpoint._ARMED_AT)
+        finally:
+            checkpoint.disarm_preempt()
+        assert armed[0] == armed[1]  # same identity: same kill point
+        assert armed[2] != armed[0]  # hashed per identity
 
     def test_corrupt_truncates_cache_entry(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CHAOS", "corrupt=1,seed=3")
@@ -157,3 +192,25 @@ class TestChaoticSweeps:
         assert recovered  # exc=1 guarantees at least one recovery
         assert all(f.recovered for f in recovered)
         assert all(f.attempts >= 2 for f in recovered)
+
+    def test_quadrant_sweep_float_identical_under_preemption(self):
+        """Same differential under ``preempt`` faults: every worker task
+        is checkpoint-preempted mid-simulation (windows long enough that
+        the hashed kill points land inside the run), the retries resume
+        from the blobs, and the point stays float-identical."""
+        experiment = quadrant_experiment(QUADRANTS[1])
+        baseline, chaotic, recovered = chaos_differential_point(
+            experiment,
+            n_cores=1,
+            warmup=WARMUP,
+            measure=20_000.0,  # ~40k events: hashed kill points fire mid-run
+            jobs=2,
+            chaos="preempt=1,seed=13",
+            retries=3,
+        )
+        assert len(baseline) == len(chaotic) == 1
+        # chaos_differential_point itself raises if nothing fired; the
+        # preempted workers exit PREEMPT_EXIT_CODE, surfacing as
+        # recovered crash-kind failures.
+        assert all(f.recovered for f in recovered)
+        assert any(f.kind == "crash" for f in recovered)

@@ -88,6 +88,49 @@ def _count_square(x, path):
     return x * x
 
 
+class _Throttle:
+    """Sim callback that wall-sleeps while ``flag`` records attempt 0.
+
+    Scheduled into the host's simulator, so it rides along in mid-run
+    checkpoints; the resumed attempt sees the bumped flag and runs at
+    full speed.
+    """
+
+    def __init__(self, sim, flag, interval_ns, sleep_s):
+        self.sim = sim
+        self.flag = flag
+        self.interval_ns = interval_ns
+        self.sleep_s = sleep_s
+
+    def tick(self):
+        if os.path.getsize(self.flag) <= 1:
+            time.sleep(self.sleep_s)
+        self.sim.schedule(self.interval_ns, self.tick)
+
+
+def _sim_run(flag, preempt_at=0, exit_process=False, throttle=None,
+             warmup=1_000.0, measure=20_000.0):
+    """A real (small) simulation task for preemption/resume tests.
+
+    On its first execution (tracked via ``flag``) it arms an in-run
+    checkpoint preemption at ``preempt_at`` events and/or slows the
+    simulation down with a :class:`_Throttle`; later executions run
+    clean and resume from whatever checkpoint the first one left.
+    """
+    from repro import Host, cascade_lake
+    from repro.sim import checkpoint
+
+    attempt = _bump(flag)
+    host = Host(cascade_lake())
+    host.add_stream_cores(1, store_fraction=0.0)
+    if attempt == 1 and preempt_at:
+        checkpoint.arm_preempt(preempt_at, exit_process=exit_process)
+    if throttle is not None:
+        interval_ns, sleep_s = throttle
+        host.sim.schedule(0.0, _Throttle(host.sim, flag, interval_ns, sleep_s).tick)
+    return host.run(warmup, measure)
+
+
 class TestRetries:
     def test_transient_exception_recovered_serial(self, tmp_path):
         counter = tmp_path / "fails"
@@ -342,6 +385,121 @@ class TestSerialSemantics:
         notes = getattr(excinfo.value, "__notes__", [])
         assert any("1 other task(s)" in note for note in notes)
         assert len(excinfo.value.sweep_failures) == 2
+
+
+class TestPreemption:
+    """Mid-run checkpoint preemption: interrupted tasks resume, not rerun."""
+
+    def _baseline(self, tmp_path, **kwargs):
+        flag = tmp_path / "baseline-flag"
+        flag.write_bytes(b"xx")  # attempt >= 2: no preemption, no throttle
+        batch = run_supervised(
+            [(_sim_run, (str(flag),), kwargs)], jobs=1, cache=False, config=_config()
+        )
+        return batch.results[0]
+
+    def test_serial_preempt_checkpoints_and_resumes(self, tmp_path):
+        from repro.validate.harness import assert_results_identical
+
+        baseline = self._baseline(tmp_path)
+        journal_dir = tmp_path / "journal"
+        flag = tmp_path / "flag"
+        cfg = _config(retries=1, journal_dir=journal_dir, task_timeout_s=60.0)
+        before = stats.snapshot()
+        batch = run_supervised(
+            [(_sim_run, (str(flag),), {"preempt_at": 6_000})],
+            jobs=1,
+            cache=False,
+            config=cfg,
+        )
+        assert_results_identical(
+            baseline, batch.results[0], context="serial preempt resume"
+        )
+        # One preempted attempt, resumed and recovered on the retry.
+        assert os.path.getsize(flag) == 2
+        assert stats.delta(before)["retries"] == 1
+        assert [f.recovered for f in batch.failures] == [True]
+        assert "Preempted" in batch.failures[0].outcomes[0]
+        # The journal recorded the checkpoint lineage...
+        records = [
+            json.loads(line)
+            for line in (journal_dir / "journal.jsonl").read_text().splitlines()
+        ]
+        preempted = [r for r in records if r["status"] == "preempted"]
+        assert preempted and preempted[0]["ckpt"].endswith(".ckpt")
+        assert records[-1]["status"] == "done"
+        # ...and the blob was cleaned up once the task completed.
+        assert not list(journal_dir.glob("*.ckpt"))
+
+    def test_worker_preempt_exit_resumes(self, tmp_path):
+        from repro.validate.harness import assert_results_identical
+
+        baseline = self._baseline(tmp_path)
+        journal_dir = tmp_path / "journal"
+        flag = tmp_path / "flag"
+        cfg = _config(retries=2, journal_dir=journal_dir, task_timeout_s=60.0)
+        batch = run_supervised(
+            [
+                (_square, (4,), {}),
+                (_sim_run, (str(flag),), {"preempt_at": 6_000, "exit_process": True}),
+            ],
+            jobs=2,
+            cache=False,
+            config=cfg,
+        )
+        assert batch.results[0] == 16
+        assert_results_identical(
+            baseline, batch.results[1], context="worker preempt resume"
+        )
+        # The worker exited with PREEMPT_EXIT_CODE (a pool break), so
+        # the failure surfaces as a recovered crash; the flag proves the
+        # retry resumed instead of simulating from scratch a third time.
+        assert any(f.kind == "crash" and f.recovered for f in batch.failures)
+        records = [
+            json.loads(line)
+            for line in (journal_dir / "journal.jsonl").read_text().splitlines()
+        ]
+        assert any(r["status"] == "preempted" for r in records)
+        assert not list(journal_dir.glob("*.ckpt"))
+
+    def test_timed_out_task_checkpoints_and_resumes(self, tmp_path):
+        from repro.validate.harness import assert_results_identical
+
+        throttle = (100.0, 0.02)  # ~0.8 s of wall-sleep on attempt 0
+        baseline = self._baseline(
+            tmp_path, throttle=throttle, warmup=1_000.0, measure=3_000.0
+        )
+        journal_dir = tmp_path / "journal"
+        flag = tmp_path / "flag"
+        cfg = _config(retries=2, journal_dir=journal_dir, task_timeout_s=0.3)
+        before = stats.snapshot()
+        batch = run_supervised(
+            [
+                (_square, (5,), {}),
+                (
+                    _sim_run,
+                    (str(flag),),
+                    {"throttle": throttle, "warmup": 1_000.0, "measure": 3_000.0},
+                ),
+            ],
+            jobs=2,
+            cache=False,
+            config=cfg,
+        )
+        assert batch.results[0] == 25
+        assert_results_identical(
+            baseline, batch.results[1], context="timeout preempt resume"
+        )
+        assert stats.delta(before)["timeouts"] >= 1
+        assert any(f.kind == "timeout" and f.recovered for f in batch.failures)
+        # The pool teardown's SIGTERM made the worker checkpoint: the
+        # journal carries the lineage and the retry resumed from it.
+        records = [
+            json.loads(line)
+            for line in (journal_dir / "journal.jsonl").read_text().splitlines()
+        ]
+        assert any(r["status"] == "preempted" for r in records)
+        assert not list(journal_dir.glob("*.ckpt"))
 
 
 class TestConfig:

@@ -5,8 +5,10 @@ the fast-scale Figure 3 quadrant sweep:
 
 1. **baseline** — fault-free, serial-friendly, fresh cache;
 2. **chaotic** — fresh cache + journal, ``REPRO_CHAOS`` injecting
-   worker kills, transient exceptions and cache-entry corruption,
-   with retries enabled;
+   worker kills, transient exceptions, cache-entry corruption and
+   mid-simulation checkpoint preemptions (``preempt`` — the worker
+   checkpoints, exits, and the retried attempt resumes the
+   interrupted run from the blob), with retries enabled;
 3. **chaotic replay** — same cache directory as pass 2, so the
    corrupted entries written there are detected, quarantined and
    recomputed.
@@ -35,7 +37,7 @@ SCALES = {
     "smoke": dict(core_counts=(1, 4), warmup=6_000.0, measure=15_000.0),
 }
 
-CHAOS_SPEC = "kill=0.12,exc=0.35,corrupt=0.3,seed=1906"
+CHAOS_SPEC = "kill=0.12,exc=0.35,corrupt=0.3,preempt=0.3,seed=1906"
 RETRIES = "3"
 BACKOFF = "0.02"
 
