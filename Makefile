@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos ckpt py310-check lint fig03-check
+.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos ckpt py310-check lint fig03-check profile
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -27,19 +27,27 @@ bench-fast:
 perf-check:
 	$(PYTHON) tools/perf_check.py
 
-# Kernel perf tier: the DRAM-traffic window (the SoA channel kernel's
-# target workload, also covered by the perf gate) plus a cold-serial
-# fig03 wall-clock timing — the end-to-end number the kernel exists to
-# improve. Skipped, like the perf gate, with REPRO_PERF_CHECK=off.
+# Kernel perf tier: the DRAM-traffic window and the uncore-churn
+# microbench (the SoA channel and uncore kernels' target workloads,
+# also covered by the perf gate) plus a cold-serial fig03 wall-clock
+# timing — the end-to-end number the kernels exist to improve.
+# Skipped, like the perf gate, with REPRO_PERF_CHECK=off.
 bench-kernel:
 	@case "$${REPRO_PERF_CHECK:-on}" in \
 	off|0|no|false) echo "bench-kernel: skipped (REPRO_PERF_CHECK=off)";; \
 	*) mkdir -p benchmarks/out && \
 		$(PYTHON) -m pytest -q benchmarks/bench_engine.py --benchmark-only \
-			-k dram --benchmark-json=benchmarks/out/bench_kernel.json && \
+			-k "dram or uncore" \
+			--benchmark-json=benchmarks/out/bench_kernel.json && \
 		REPRO_JOBS=1 REPRO_CACHE_DIR=$$(mktemp -d) \
 			$(PYTHON) tools/fig03_check.py --time;; \
 	esac
+
+# Profile tier (diagnostic, not a gate): one short fig03 point under
+# cProfile, top-20 cumulative. Compare implementations with e.g.
+# `REPRO_UNCORE=off make profile` / `REPRO_KERNEL=off make profile`.
+profile:
+	$(PYTHON) tools/profile_check.py
 
 # Python-version-floor gate (requires-python = ">=3.10"): 3.11+-API
 # lint, plus byte-compile + validated smoke under a real 3.10 when one

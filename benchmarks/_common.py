@@ -95,6 +95,46 @@ def run_once(benchmark, fn):
     return result
 
 
+def window_host(
+    n_cores: int = 2,
+    store_fraction: float = 1.0,
+    dma_write: bool = True,
+    dma_read: bool = False,
+    **config_overrides,
+):
+    """A colocated STREAM + DMA host for the end-to-end window
+    benchmarks.
+
+    The window scenarios in ``bench_engine.py`` used to copy-paste
+    this wiring; one builder keeps them from drifting apart.
+    ``config_overrides`` are forwarded to
+    :func:`~repro.topology.presets.cascade_lake`.
+    """
+    from repro.sim.records import RequestKind
+    from repro.topology.host import Host
+    from repro.topology.presets import cascade_lake
+
+    host = Host(cascade_lake(**config_overrides))
+    host.add_stream_cores(n_cores, store_fraction=store_fraction)
+    if dma_write:
+        host.add_raw_dma(RequestKind.WRITE, name="dma")
+    if dma_read:
+        host.add_raw_dma(RequestKind.READ, name="dma_read")
+    return host
+
+
+def report_window(benchmark, label: str, result):
+    """Record and print one end-to-end window benchmark result."""
+    assert result.events_processed > 0
+    assert result.events_per_sec > 0
+    benchmark.extra_info["events_per_sec"] = round(result.events_per_sec)
+    print(
+        f"\n{label}: {result.events_processed} events, "
+        f"{result.events_per_sec:,.0f} events/s"
+    )
+    return result
+
+
 def publish(data: FigureData) -> str:
     """Render a figure's series, print it, and save it to output/."""
     text = render_series(data.title, data.x_label, data.series, data.x_values)

@@ -11,18 +11,22 @@ trajectory (baseline: ``BENCH_engine.json``, gated by
   wheels produce (falls back to per-member ``schedule`` on engines
   without the bulk API, so the same benchmark measures both);
 * a realistic DRAM-traffic window — a colocated STREAM + DMA host,
-  reporting the events/sec the simulator sustains end to end.
+  reporting the events/sec the simulator sustains end to end;
+* uncore admission churn — the IIO credit pools and CHA ingress
+  driven directly with the DRAM side stubbed out, isolating the hot
+  path the ``REPRO_UNCORE`` SoA kernel fuses.
 """
 
-from _common import run_once, scale
+from _common import report_window, run_once, scale, window_host
 from repro.sim.engine import Simulator
 from repro.sim.records import RequestKind
-from repro.topology.host import Host
-from repro.topology.presets import cascade_lake
+from repro.uncore.kernel import UncoreKernel, uncore_enabled
 
 CHURN_EVENTS = 300_000
 TRAIN_EVENTS = 300_000
 TRAIN_LEN = 64
+UNCORE_OPS = 240_000
+UNCORE_REQS = 4_096
 
 
 def test_engine_empty_callback_churn(benchmark):
@@ -94,16 +98,71 @@ def test_engine_dram_window_events_per_sec(benchmark):
     params = scale()
 
     def run():
-        host = Host(cascade_lake())
-        host.add_stream_cores(2, store_fraction=1.0)
-        host.add_raw_dma(RequestKind.WRITE, name="dma")
+        host = window_host(n_cores=2, store_fraction=1.0)
         return host.run(params["warmup"], params["measure"])
 
     result = run_once(benchmark, run)
-    assert result.events_processed > 0
-    assert result.events_per_sec > 0
-    benchmark.extra_info["events_per_sec"] = round(result.events_per_sec)
-    print(
-        f"\nDRAM window: {result.events_processed} events, "
-        f"{result.events_per_sec:,.0f} events/s"
-    )
+    report_window(benchmark, "DRAM window", result)
+
+
+def test_engine_uncore_churn_events_per_sec(benchmark):
+    """IIO+CHA admission churn: the uncore hot path in isolation.
+
+    Drives the IIO credit pools and the CHA ingress directly — one
+    ``alloc -> request_admission -> release`` traversal per request,
+    mixed reads and writes — against a memory controller with
+    bottomless queues whose event loop is never driven, so the DRAM
+    side is stubbed out entirely and the measured rate is the uncore
+    path itself. This is the territory ``REPRO_UNCORE`` owns: the
+    object-at-a-time CHA/IIO/credit path when off, the fused SoA
+    kernel when on (``kernel_off_events_per_sec`` in the baseline
+    records the same commit with the kernel off).
+    """
+    from repro.dram.controller import MemoryController
+    from repro.dram.timing import DDR4_2933
+    from repro.sim.records import Request, RequestSource
+    from repro.telemetry.counters import CounterHub
+    from repro.uncore.cha import CHA
+    from repro.uncore.iio import IIO
+
+    def churn() -> int:
+        sim = Simulator()
+        hub = CounterHub()
+        mc = MemoryController(
+            sim,
+            hub,
+            timing=DDR4_2933,
+            n_channels=2,
+            n_banks=8,
+            rpq_size=1 << 20,
+            wpq_size=1 << 20,
+        )
+        cha = CHA(sim, hub, mc, write_capacity=1 << 30, read_capacity=1 << 30)
+        iio = IIO(sim, hub, write_entries=1 << 30, read_entries=1 << 30)
+        if uncore_enabled():
+            UncoreKernel(cha, iio)
+        requests = []
+        for i in range(UNCORE_REQS):
+            kind = RequestKind.WRITE if i % 2 else RequestKind.READ
+            req = Request(RequestSource.P2M, kind, i * 64, traffic_class="p2m")
+            mc.assign(req)
+            requests.append(req)
+        alloc = iio.alloc
+        admit = cha.request_admission
+        release = iio.release
+        ops = 0
+        while ops < UNCORE_OPS:
+            for req in requests:
+                alloc(req)
+                admit(req)
+                release(req)
+            ops += UNCORE_REQS
+        if cha.kernel is not None:
+            cha.kernel.verify_consistency()
+        return ops
+
+    ops = run_once(benchmark, churn)
+    assert ops >= UNCORE_OPS
+    rate = ops / benchmark.stats.stats.mean
+    benchmark.extra_info["events_per_sec"] = round(rate)
+    print(f"\nuncore churn: {ops} requests, {rate:,.0f} events/s")

@@ -110,10 +110,16 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
     # behaviour without appearing in the pickled spec (the HostConfig
     # defaults stay off); keep their namespaces separate too.
     from repro.dram.regulator import bank_reg_forced
+    from repro.uncore.kernel import uncore_enabled
     from repro.uncore.llc import ddio_forced
 
     digest.update(f"ddio={ddio_forced()}".encode())
     digest.update(f"bankreg={bank_reg_forced()}".encode())
+    # The uncore kernel is float-identical by contract, but a cached
+    # result must never mask a divergence: keep the namespaces apart so
+    # REPRO_UNCORE=off actually recomputes (same reasoning as the DRAM
+    # kernel's code_fingerprint coverage).
+    digest.update(f"uncore={uncore_enabled()}".encode())
     digest.update(spec)
     return digest.hexdigest()
 

@@ -32,6 +32,7 @@ from repro.sim.records import (
 )
 from repro.telemetry.counters import CounterHub
 from repro.uncore.iio import IIO
+from repro.uncore.kernel import uncore_enabled
 
 _INF = float("inf")
 
@@ -137,6 +138,12 @@ class DmaDevice:
         self.burst = max(
             1, min(burst, iio.write_entries, iio.read_entries)
         )
+        # Batched train credits (REPRO_UNCORE): one weighted IIO pool
+        # transaction per gathered train instead of one per channel
+        # group. Bit-identical — same-instant acquires commute — but
+        # cuts the per-group pool traffic. Evaluated unconditionally so
+        # an invalid knob value raises at construction.
+        self._batch_credits = uncore_enabled() and self.burst > 1
         self._next_write_slot = 0.0
         self._next_read_slot = 0.0
         self._pump_event = None
@@ -236,6 +243,7 @@ class DmaDevice:
                 self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
                 continue
             total = 0
+            batch = self._batch_credits
             for group in self._gather_burst(addr, self.workload.next_write, now):
                 req = acquire_request(
                     RequestSource.P2M,
@@ -248,11 +256,18 @@ class DmaDevice:
                     req.lines = lines
                     req.tag = group
                 total += lines
-                self._iio.alloc(req)
+                if batch:
+                    req.t_alloc = now
+                else:
+                    self._iio.alloc(req)
                 self._mc.assign(req)
                 req.on_complete = self._on_write_posted
                 arrival = self._link.send_upstream(CACHELINE_BYTES * lines)
                 self._sim.schedule_at(arrival, self._iio.on_dma_arrival, req)
+            if batch:
+                # One weighted pool transaction for the whole train:
+                # bit-identical to per-group acquires at one instant.
+                self._iio.write_pool.acquire(now, total)
             self._next_write_slot = start + self._pace() * total
 
     def _pump_reads(self) -> float:
@@ -284,6 +299,7 @@ class DmaDevice:
                 self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
                 continue
             total = 0
+            batch = self._batch_credits
             for group in self._gather_burst(addr, self.workload.next_read, now):
                 req = acquire_request(
                     RequestSource.P2M,
@@ -296,10 +312,15 @@ class DmaDevice:
                     req.lines = lines
                     req.tag = group
                 total += lines
-                self._iio.alloc(req)
+                if batch:
+                    req.t_alloc = now
+                else:
+                    self._iio.alloc(req)
                 self._mc.assign(req)
                 req.on_complete = self._on_read_serviced
                 self._sim.schedule(self._link.t_prop, self._iio.on_dma_arrival, req)
+            if batch:
+                self._iio.read_pool.acquire(now, total)
             self._next_read_slot = start + self._pace() * total
 
     def _gather_burst(self, first: int, next_line, now: float):

@@ -285,11 +285,13 @@ def _knob_fingerprint() -> Dict[str, Any]:
     from repro.dram.regulator import bank_reg_forced
     from repro.sim.engine import wheel_enabled
     from repro.sim.records import burst_factor, pool_enabled
+    from repro.uncore.kernel import uncore_enabled
     from repro.uncore.llc import ddio_forced
     from repro.validate.invariants import enabled as validate_enabled
 
     return {
         "kernel": kernel_enabled(),
+        "uncore": uncore_enabled(),
         "wheel": wheel_enabled(),
         "burst": burst_factor(),
         "pool": pool_enabled(),

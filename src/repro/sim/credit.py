@@ -52,6 +52,12 @@ class CreditPool:
     Callers enforce admission themselves via :meth:`has_room` /
     :meth:`can_accept`; ``acquire`` does not re-check, so components
     keep their historical, component-specific error messages.
+
+    The SoA kernels (``dram/kernel.py``, ``uncore/kernel.py``) inline
+    these method bodies statement-for-statement on their hot paths;
+    ``tests/test_credit.py::TestInlinedFastPaths`` replays the inlined
+    recipes against the canonical methods, so any change here must
+    update the kernels and will fail those tests until it does.
     """
 
     __slots__ = (

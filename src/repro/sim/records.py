@@ -98,6 +98,7 @@ class Request:
         "queue_seq",
         "lines",
         "cls_id",
+        "ucls_id",
     )
 
     def __init__(
@@ -144,6 +145,9 @@ class Request:
         # Interned traffic-class id, assigned by the SoA channel kernel
         # at MC admission (dram/kernel.py). -1 = not yet interned.
         self.cls_id = -1
+        # Uncore-kernel class id, assigned at CHA admission
+        # (uncore/kernel.py) — distinct interning table from cls_id.
+        self.ucls_id = -1
 
     @property
     def is_read(self) -> bool:

@@ -33,6 +33,7 @@ from repro.topology.presets import HostConfig
 from repro.dram.regulator import bank_reg_forced
 from repro.uncore.cha import CHA
 from repro.uncore.iio import IIO
+from repro.uncore.kernel import UncoreKernel, uncore_enabled
 from repro.uncore.llc import LastLevelCache, ddio_forced
 from repro.validate import ValidatingSimulator, Validator
 from repro.validate import enabled as validate_enabled
@@ -242,6 +243,13 @@ class Host:
             read_entries=config.iio_read_entries,
             t_iio_to_cha=config.t_iio_to_cha,
         )
+        #: SoA uncore kernel (REPRO_UNCORE): rebinds the CHA/IIO hot
+        #: path onto fused array code. Constructed before any callback
+        #: wiring below so every later ``self.cha.request_admission``
+        #: reference picks up the kernel's bound method.
+        self.uncore_kernel = None
+        if uncore_enabled():
+            self.uncore_kernel = UncoreKernel(self.cha, self.iio)
         self.iio.cha_admission = self.cha.request_admission
         #: the Fig. 5 domain registry over the shared credit runtime;
         #: per-core LFB pools join in :meth:`add_core`, and the
@@ -492,6 +500,8 @@ class Host:
         if self.llc is not None:
             self.llc.reset_stats()
         self.link.reset_stats(now)
+        if self.uncore_kernel is not None:
+            self.uncore_kernel.reset_window()
 
     def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 80_000.0) -> RunResult:
         """Warm up, measure, and collect results.
@@ -634,6 +644,8 @@ class Host:
 
     def collect(self, elapsed_ns: float) -> RunResult:
         """Snapshot every metric of the current window into a RunResult."""
+        if self.uncore_kernel is not None:
+            self.uncore_kernel.sync_stats()
         now = self.sim.now
         mc = self.mc
         classes = set()

@@ -22,6 +22,16 @@ Pipeline::
 
     arrivals -> ingress (FCFS, HoL) -> read stage  -> RPQ
                                     -> write stage -> WPQ
+
+This module is the *reference* implementation. With ``REPRO_UNCORE``
+on (the default) the host rebinds the hot entry points
+(``request_admission``, ``_pump_ingress``, the deliveries and the
+queue-space callbacks) to the fused struct-of-arrays kernel in
+:mod:`repro.uncore.kernel`, which shares this object's queues, pools
+and counters and is float-identical by construction. Keep the two in
+lockstep: any semantic change here must land in the kernel too (the
+differential tests in ``tests/test_uncore_kernel.py`` will catch a
+divergence).
 """
 
 from __future__ import annotations
@@ -93,6 +103,8 @@ class CHA:
         self._completion_rates: dict = {}
         self._read_latency: dict = {}
         self._write_latency: dict = {}
+        #: set by UncoreKernel when REPRO_UNCORE rebinds the hot path
+        self.kernel = None
         for channel in mc.channels:
             channel.on_rpq_space = self._on_rpq_space
             channel.on_wpq_space = self._on_wpq_space

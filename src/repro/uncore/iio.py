@@ -20,6 +20,12 @@ wakeups are O(waiters) and served in registration order.
 
 The paper measures ~92 write-buffer entries and >164 read credits on
 its servers; those are the defaults here.
+
+Reference implementation note: with ``REPRO_UNCORE`` on the host
+rebinds :meth:`IIO.alloc` / :meth:`IIO.release` to the fused SoA
+kernel (:mod:`repro.uncore.kernel`), which inlines the pool traffic
+over the same :class:`~repro.sim.credit.CreditPool` objects. Any
+semantic change here must land in the kernel too.
 """
 
 from __future__ import annotations

@@ -263,6 +263,21 @@ class Validator:
             stage=cha.write_waiting.value,
             backlog=cha.write_backlog_len,
         )
+        kernel = cha.kernel
+        if kernel is not None:
+            # SoA uncore kernel: incremental line counters, intern
+            # tables and pool conservation must agree exactly with
+            # direct walks of the shared queues.
+            try:
+                kernel.verify_consistency()
+            except AssertionError as exc:
+                raise InvariantViolation(
+                    "cha.kernel",
+                    "kernel-consistency",
+                    str(exc),
+                    window=self._window,
+                ) from None
+            self.checks_passed += 1
 
     def check_llc(self, host: "Host") -> None:
         """LLC tag-store structure + DDIO credit-occupancy identity.

@@ -156,9 +156,13 @@ class TestInlinedFastPaths:
     canonical methods.
 
     The hot paths in ``uncore/cha.py`` (``_deliver_read`` /
-    ``_deliver_write``) and ``dram/kernel.py`` (``enqueue_read`` /
-    ``enqueue_write`` / ``_on_transmit_done_*`` / ``_transmit_read``)
-    inline ``CreditPool.release``, ``CreditPool.commit`` and
+    ``_deliver_write``), ``uncore/kernel.py`` (the fused CHA/IIO
+    admission chain: stage acquires, IIO alloc/release-held, the
+    batched per-train acquires in ``pcie/device.py`` / ``cpu/core.py``)
+    and ``dram/kernel.py`` (``enqueue_read`` / ``enqueue_write`` /
+    ``_on_transmit_done_*`` / ``_transmit_read``) inline
+    ``CreditPool.acquire``, ``CreditPool.release``,
+    ``CreditPool.release_held``, ``CreditPool.commit`` and
     ``BankLoadSampler.record`` statement-for-statement. These tests
     replay the *exact inlined statement sequences* next to the
     canonical method calls and assert identical observable state — so
@@ -209,6 +213,126 @@ class TestInlinedFastPaths:
         pool.alloc_count += lines
         pool._occ_update(1.0, lines)
         assert self._pool_state(inlined) == self._pool_state(canonical)
+
+    def test_inlined_acquire_matches_canonical_soft(self):
+        # The inlined recipe, verbatim from the uncore kernel's
+        # _admit_read/_admit_write stage acquires (soft pool: occupancy
+        # counter is uncapped, so no full-time/capacity branches).
+        canonical, inlined = make_pool(soft=True), make_pool(soft=True)
+        canonical.acquire(2.0, 3)
+        lines = 3
+        pool = inlined
+        pool.alloc_count += lines
+        occ = pool.occ
+        dt = 2.0 - occ._last_t
+        if dt > 0:
+            occ._integral += occ.value * dt
+            occ._last_t = 2.0
+        value = occ.value + lines
+        occ.value = value
+        if value > occ.max_seen:
+            occ.max_seen = value
+        assert self._pool_state(inlined) == self._pool_state(canonical)
+        assert inlined.occ._integral == canonical.occ._integral
+        assert inlined.occ.max_seen == canonical.occ.max_seen
+
+    def test_inlined_acquire_matches_canonical_hard(self):
+        # The inlined recipe, verbatim from the uncore kernel's
+        # iio_alloc (hard pool: full-time tracking + capacity guard).
+        canonical, inlined = make_pool(capacity=8), make_pool(capacity=8)
+        for pool in (canonical, inlined):
+            pool.acquire(0.0, 8)  # sit at capacity so full-time accrues
+            pool.release(3.0, 2)
+        canonical.acquire(5.0, 2)
+        lines = 2
+        pool = inlined
+        pool.alloc_count += lines
+        occ = pool.occ
+        value = occ.value
+        capacity = occ.capacity
+        dt = 5.0 - occ._last_t
+        if dt > 0:
+            occ._integral += value * dt
+            if value >= capacity:
+                occ._full_time += dt
+            occ._last_t = 5.0
+        value += lines
+        occ.value = value
+        if value > capacity:
+            raise ValueError(f"occupancy {value} exceeds capacity {capacity}")
+        if value > occ.max_seen:
+            occ.max_seen = value
+        assert self._pool_state(inlined) == self._pool_state(canonical)
+        assert inlined.occ._integral == canonical.occ._integral
+        assert inlined.occ._full_time == canonical.occ._full_time
+
+    def test_weighted_train_acquire_matches_sequential(self):
+        # The REPRO_UNCORE batching in pcie/device.py and cpu/core.py:
+        # one weighted pool transaction per REPRO_BURST train must be
+        # bit-identical to the per-channel-group acquires it replaces
+        # (all at one instant: dt=0 after the first, monotone
+        # high-water mark, alloc counts sum).
+        sequential, batched = make_pool(capacity=32), make_pool(capacity=32)
+        for pool in (sequential, batched):
+            pool.acquire(0.0, 4)  # pre-existing occupancy + integral
+        groups = (3, 1, 2)
+        for lines in groups:
+            sequential.acquire(7.5, lines)
+        batched.acquire(7.5, sum(groups))
+        assert self._pool_state(batched) == self._pool_state(sequential)
+        assert batched.occ._integral == sequential.occ._integral
+        assert batched.occ._full_time == sequential.occ._full_time
+        assert batched.occ.max_seen == sequential.occ.max_seen
+        assert batched.occ._last_t == sequential.occ._last_t
+
+    def test_inlined_release_held_matches_canonical(self):
+        # The inlined recipe, verbatim from the uncore kernel's
+        # iio_release: hold-time stat record, then the release tail
+        # (hard pool), waiters after stats.
+        canonical, inlined = make_pool(capacity=8), make_pool(capacity=8)
+        fired = []
+        for tag, pool in (("canonical", canonical), ("inlined", inlined)):
+            pool.acquire(0.0, 8)
+            pool.add_waiter(lambda tag=tag: fired.append(tag))
+        canonical.release_held(6.0, 2.0, 3)
+        lines = 3
+        t_alloc = 2.0
+        pool = inlined
+        latency = 6.0 - t_alloc
+        held = pool.latency
+        if lines == 1:
+            held.total += latency
+            held.count += 1
+        else:
+            held.total += latency * lines
+            held.count += lines
+        if latency > held.max_seen:
+            held.max_seen = latency
+        pool.free_count += lines
+        occ = pool.occ
+        value = occ.value
+        dt = 6.0 - occ._last_t
+        if dt > 0:
+            occ._integral += value * dt
+            if value >= occ.capacity:
+                occ._full_time += dt
+            occ._last_t = 6.0
+        occ.value = value - lines
+        if pool._waiters:
+            pool._drain_waiters()
+        assert self._pool_state(inlined) == self._pool_state(canonical)
+        assert inlined.occ._integral == canonical.occ._integral
+        assert inlined.occ._full_time == canonical.occ._full_time
+        assert (
+            inlined.latency.total,
+            inlined.latency.count,
+            inlined.latency.max_seen,
+        ) == (
+            canonical.latency.total,
+            canonical.latency.count,
+            canonical.latency.max_seen,
+        )
+        assert fired == ["canonical", "inlined"]
 
     def test_inlined_sampler_record_matches_canonical(self):
         from repro.telemetry.bankstats import BankLoadSampler

@@ -17,8 +17,10 @@ proves the checkpoint subsystem end-to-end, across real processes:
    bit-identical to the committed ``tests/data/fig03_fingerprint.json``
    entry for the point.
 
-The whole scenario runs twice — ``REPRO_KERNEL=on`` and ``off`` — so
-both DRAM channel implementations are covered. The checkpoint blobs
+The whole scenario runs three times — (REPRO_KERNEL, REPRO_UNCORE) =
+(on, on), (off, on) and (on, off) — so both DRAM channel
+implementations and both uncore implementations are covered (the
+off/off corner adds no new code path). The checkpoint blobs
 reuse the run cache's RRC1+sha256 framing, so a corrupted blob is
 quarantined and the run restarts fresh (covered by tier-1 tests).
 """
@@ -51,8 +53,8 @@ POLL_INTERVAL_S = 0.02
 def child(out_path: str) -> int:
     """Run the fingerprint point; exit 75 if checkpoint-preempted."""
     # Same knob pinning as tools/fig03_check.py — the fingerprint is
-    # the exact per-line simulation. REPRO_KERNEL is left alone: the
-    # parent drives it.
+    # the exact per-line simulation. REPRO_KERNEL and REPRO_UNCORE are
+    # left alone: the parent drives them.
     os.environ["REPRO_BURST"] = "1"
     for name in ("REPRO_VALIDATE", "REPRO_CHAOS", "REPRO_DDIO", "REPRO_BANK_REG"):
         os.environ.pop(name, None)
@@ -73,9 +75,12 @@ def child(out_path: str) -> int:
     return 0
 
 
-def _spawn(ckpt_path: str, out_path: str, kernel: str) -> subprocess.Popen:
+def _spawn(
+    ckpt_path: str, out_path: str, kernel: str, uncore: str
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["REPRO_KERNEL"] = kernel
+    env["REPRO_UNCORE"] = uncore
     env["REPRO_CKPT"] = "events:5000"
     env["REPRO_CKPT_PATH"] = ckpt_path
     env.pop("REPRO_CKPT_DIR", None)
@@ -123,31 +128,32 @@ def _kill_at_checkpoint(proc: subprocess.Popen, what: str) -> None:
         )
 
 
-def run_scenario(kernel: str, baseline: dict) -> None:
+def run_scenario(kernel: str, uncore: str, baseline: dict) -> None:
+    tag = f"kernel={kernel} uncore={uncore}"
     with tempfile.TemporaryDirectory() as tmp:
         ckpt_path = os.path.join(tmp, "host.ckpt")
         out_path = os.path.join(tmp, "fingerprint.json")
 
-        print(f"[{kernel}] run 1: kill at first checkpoint")
-        proc = _spawn(ckpt_path, out_path, kernel)
-        _wait_for_checkpoint(ckpt_path, -1, f"kernel={kernel} run 1")
-        _kill_at_checkpoint(proc, f"kernel={kernel} run 1")
+        print(f"[{tag}] run 1: kill at first checkpoint")
+        proc = _spawn(ckpt_path, out_path, kernel, uncore)
+        _wait_for_checkpoint(ckpt_path, -1, f"{tag} run 1")
+        _kill_at_checkpoint(proc, f"{tag} run 1")
         # The preemption itself wrote the final (newest) blob — stamp
         # *after* exit so run 2's wait sees only checkpoints written by
         # the resumed child.
         stamp = _stat_ns(ckpt_path)
 
-        print(f"[{kernel}] run 2: resume, kill at a later checkpoint")
-        proc = _spawn(ckpt_path, out_path, kernel)
-        _wait_for_checkpoint(ckpt_path, stamp, f"kernel={kernel} run 2")
-        _kill_at_checkpoint(proc, f"kernel={kernel} run 2")
+        print(f"[{tag}] run 2: resume, kill at a later checkpoint")
+        proc = _spawn(ckpt_path, out_path, kernel, uncore)
+        _wait_for_checkpoint(ckpt_path, stamp, f"{tag} run 2")
+        _kill_at_checkpoint(proc, f"{tag} run 2")
 
-        print(f"[{kernel}] run 3: resume to completion")
-        proc = _spawn(ckpt_path, out_path, kernel)
+        print(f"[{tag}] run 3: resume to completion")
+        proc = _spawn(ckpt_path, out_path, kernel, uncore)
         code = proc.wait(timeout=POLL_TIMEOUT_S * 2)
         if code != 0:
             raise SystemExit(
-                f"FAIL: kernel={kernel} run 3: resumed child exited {code}"
+                f"FAIL: {tag} run 3: resumed child exited {code}"
             )
         with open(out_path, "r", encoding="utf-8") as fh:
             fingerprint = json.load(fh)
@@ -159,11 +165,11 @@ def run_scenario(kernel: str, baseline: dict) -> None:
     ]
     if diffs:
         raise SystemExit(
-            f"FAIL: kernel={kernel}: twice-resumed {POINT_LABEL} diverges "
+            f"FAIL: {tag}: twice-resumed {POINT_LABEL} diverges "
             f"from the committed fingerprint in: {', '.join(sorted(diffs))}"
         )
     print(
-        f"[{kernel}] ok: twice-killed, twice-resumed run is bit-identical "
+        f"[{tag}] ok: twice-killed, twice-resumed run is bit-identical "
         f"to the committed {POINT_LABEL} fingerprint"
     )
 
@@ -181,11 +187,11 @@ def main() -> int:
         print(f"FAIL: {BASELINE} has no {POINT_LABEL!r} entry")
         return 1
 
-    for kernel in ("on", "off"):
-        run_scenario(kernel, baseline)
+    for kernel, uncore in (("on", "on"), ("off", "on"), ("on", "off")):
+        run_scenario(kernel, uncore, baseline)
 
     print("ckpt check passed: SIGTERM-killed runs resume bit-identically "
-          "with the DRAM kernel on and off")
+          "with the DRAM and uncore kernels on and off")
     return 0
 
 
