@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos ckpt py310-check lint fig03-check profile
+.PHONY: test bench bench-smoke bench-fast bench-kernel perf-check check chaos ckpt py310-check lint fig03-check cluster-check profile
 
 test:
 	$(PYTHON) -m pytest -x -q tests/
@@ -67,6 +67,13 @@ lint:
 fig03-check:
 	$(PYTHON) tools/fig03_check.py
 
+# Cluster bit-exactness tier: the committed 2-host RDMA smoke
+# fingerprint (tests/data/cluster_fingerprint.json) locks the
+# multi-host coupling stack — namespaced hosts on one engine, fabric
+# queues, PFC, per-flow goodput — across commits (tools/cluster_check.py).
+cluster-check:
+	$(PYTHON) tools/cluster_check.py
+
 # Chaos tier: the fast-scale fig03 sweep under deterministically
 # injected worker kills, transient exceptions and cache corruption
 # must stay float-identical to a fault-free run, with every recovered
@@ -86,12 +93,13 @@ ckpt:
 # smoke-scale benches, exercising the parallel sweep path
 # (REPRO_JOBS=2) against a cold cache — once plain and once with
 # runtime invariant checking (REPRO_VALIDATE=1), which must pass with
-# zero violations — the fig03 bit-exactness gate, the engine perf
-# gate, the kernel perf tier, the chaos tier, and the checkpoint
-# kill/resume tier.
+# zero violations — the fig03 and cluster bit-exactness gates, the
+# engine perf gate, the kernel perf tier, the chaos tier, and the
+# checkpoint kill/resume tier.
 check: py310-check lint
 	$(PYTHON) -m pytest -x -q tests/
 	$(PYTHON) tools/fig03_check.py
+	$(PYTHON) tools/cluster_check.py
 	$(PYTHON) tools/perf_check.py
 	$(MAKE) bench-kernel
 	REPRO_BENCH_SCALE=smoke REPRO_JOBS=2 REPRO_CACHE_DIR=$$(mktemp -d) \

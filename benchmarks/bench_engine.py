@@ -105,6 +105,34 @@ def test_engine_dram_window_events_per_sec(benchmark):
     report_window(benchmark, "DRAM window", result)
 
 
+def test_engine_rack_window_events_per_sec(benchmark):
+    """End-to-end events/sec on a 2-host rack window.
+
+    Two full host networks on one shared engine, coupled by a fabric
+    flow: the destination runs a write-heavy STREAM app while an
+    ``ib_write_bw`` flow crosses the modelled edge switch queue into
+    its receive NIC (the ``tools/cluster_check.py`` scenario at bench
+    scale). Every host's RunResult carries the same engine-wide window
+    event count, so host 0's rate is the cluster's. Recorded ungated
+    in ``BENCH_engine.json``: a trajectory number for the coupling
+    overhead, with no kernel owning the path yet.
+    """
+    from repro.net.rdma import add_rdma_write_flow
+    from repro.topology.cluster import Cluster
+    from repro.topology.presets import cascade_lake
+
+    params = scale()
+
+    def run():
+        cluster = Cluster(cascade_lake(), n_hosts=2, queue_capacity_lines=512)
+        cluster.hosts[0].add_stream_cores(2, store_fraction=1.0)
+        add_rdma_write_flow(cluster, src=1, dst=0)
+        return cluster.run(params["warmup"], params["measure"]).host(0)
+
+    result = run_once(benchmark, run)
+    report_window(benchmark, "rack window (2 hosts)", result)
+
+
 def test_engine_uncore_churn_events_per_sec(benchmark):
     """IIO+CHA admission churn: the uncore hot path in isolation.
 

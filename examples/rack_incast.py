@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Rack incast: N RDMA writers converge on one receiving host.
+
+The paper's testbed was two physical servers on one cable; a modelled
+rack can couple N full host networks through a leaf/spine fabric on
+one shared clock. Here hosts 1..N each run ``ib_write_bw`` toward host
+0 (their tx NICs DMA-read the payload out of their own memory), the
+flows collide in the last-hop switch queue, and per-hop PFC paces
+every sender down to its fair share — congestion that originates in
+the *fabric*, while host 0's memory app keeps contending with the
+aggregate DMA stream *inside* the host. Fabric and host-network
+backpressure compose in one simulation.
+
+Run:  python examples/rack_incast.py
+"""
+
+from repro import Cluster, cascade_lake
+from repro.experiments.reporting import render_table
+from repro.net.rdma import add_rdma_write_flow
+
+WARMUP_NS = 20_000.0
+MEASURE_NS = 60_000.0
+SENDER_COUNTS = (1, 2, 4)
+#: receiver-side memory app (STREAM read/write on 2 cores)
+MEM_CORES = 2
+#: a small edge queue makes the PFC point land inside the window
+QUEUE_LINES = 512
+
+
+def main() -> None:
+    rows = []
+    for n_senders in SENDER_COUNTS:
+        cluster = Cluster(
+            cascade_lake(),
+            n_hosts=n_senders + 1,
+            n_leaves=1,
+            queue_capacity_lines=QUEUE_LINES,
+            pfc_enabled=True,
+        )
+        cluster.hosts[0].add_stream_cores(
+            MEM_CORES, store_fraction=1.0, traffic_class="mem"
+        )
+        for src in range(1, n_senders + 1):
+            add_rdma_write_flow(cluster, src=src, dst=0)
+        result = cluster.run(WARMUP_NS, MEASURE_NS)
+        edge = result.fabric.ports["leaf0.down.h0"]
+        rows.append(
+            [
+                n_senders,
+                round(sum(result.flow_goodput) * 8, 1),  # Gb/s
+                round(min(result.flow_goodput) * 8, 1),
+                round(max(result.flow_goodput) * 8, 1),
+                round(edge.pause_fraction, 3),
+                edge.lines_dropped,
+                round(result.host(0).class_bandwidth("mem"), 2),
+            ]
+        )
+    print(
+        render_table(
+            "rack incast: N x ib_write_bw (98 Gb/s) into one host, 100 Gb/s fabric",
+            ["senders", "agg_goodput_gbps", "min_flow_gbps", "max_flow_gbps",
+             "edge_pause_frac", "drops", "rx_mem_bw"],
+            rows,
+        )
+    )
+    print("Expected: one sender runs at line rate with no pauses; more")
+    print("senders overload the last-hop link, the edge switch queue")
+    print("asserts PFC (pause fraction rises) and every flow converges")
+    print("to the fair share — with zero drops, because PFC is lossless.")
+    print("The receiver's memory app sees the same aggregate DMA load")
+    print("throughout, so its bandwidth barely moves: the contention")
+    print("shifted from the host network into the fabric.")
+
+
+if __name__ == "__main__":
+    main()

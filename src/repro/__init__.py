@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.sim.records import CACHELINE_BYTES, Request, RequestKind, RequestSource
+from repro.topology.cluster import Cluster, ClusterResult
 from repro.topology.host import Host, RunResult
 from repro.topology.presets import HostConfig, cascade_lake, ice_lake
 
@@ -36,6 +37,8 @@ __all__ = [
     "RequestSource",
     "Host",
     "RunResult",
+    "Cluster",
+    "ClusterResult",
     "HostConfig",
     "cascade_lake",
     "ice_lake",

@@ -54,7 +54,7 @@ class Core:
         self.lfb = LineFillBuffer(
             hub.occupancy(f"core{core_id}.lfb", lfb_size),
             lfb_size,
-            name=f"core{core_id}.lfb",
+            name=hub.scoped(f"core{core_id}.lfb"),
         )
         hub.register_pool(self.lfb)
         self.t_core_to_cha = t_core_to_cha

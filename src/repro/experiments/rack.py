@@ -1,0 +1,219 @@
+"""Rack-scale experiment points and figures (multi-host clusters).
+
+The paper measured two physical servers on one cable; a modelled rack
+can run the experiments that setup could not express: N senders
+incasting into one receiver across a shared leaf/spine fabric while
+the receiving host also runs a memory app — fabric contention (switch
+queues, per-hop PFC, ECN marks) composing with host-network contention
+(IIO/CHA/MC credits) in one simulation.
+
+Every point function is a plain module-level function of picklable
+arguments returning a dict of plain values, so points fan out through
+:func:`repro.experiments.parallel.run_calls` (process pool + run
+cache) exactly like the single-host figure points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.figures import FigureData
+from repro.experiments.parallel import run_calls
+from repro.net.dctcp import add_dctcp_flow
+from repro.net.rdma import add_rdma_write_flow
+from repro.topology.cluster import Cluster
+from repro.topology.presets import HostConfig, cascade_lake
+
+#: achieved NIC rate in the paper's RDMA setup (~98 Gb/s)
+RDMA_GBPS = 98.0
+
+
+def rdma_incast_point(
+    config: HostConfig,
+    n_senders: int,
+    n_mem_cores: int = 0,
+    store_fraction: float = 1.0,
+    rate_gbps: float = RDMA_GBPS,
+    link_gbps: float = 100.0,
+    queue_capacity_lines: int = 512,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """One RDMA incast point: N senders ``ib_write_bw`` into host 0.
+
+    Hosts 1..N each pace a PFC-protected write flow at ``rate_gbps``
+    toward host 0's receive NIC; with more than one sender the offered
+    load exceeds the last-hop link, the edge switch queue fills, and
+    per-hop PFC paces every sender down to its fair share — while host
+    0's memory app (``n_mem_cores`` STREAM cores) contends with the
+    DMA writes inside the host network. All hosts hang off one leaf,
+    so the contention point is the edge port (classic incast).
+    """
+    cluster = Cluster(
+        config,
+        n_hosts=n_senders + 1,
+        seed=seed,
+        n_leaves=1,
+        link_gbps=link_gbps,
+        queue_capacity_lines=queue_capacity_lines,
+        pfc_enabled=True,
+    )
+    if n_mem_cores:
+        cluster.hosts[0].add_stream_cores(
+            n_mem_cores, store_fraction, traffic_class="mem"
+        )
+    for src in range(1, n_senders + 1):
+        add_rdma_write_flow(cluster, src=src, dst=0, rate_gbps=rate_gbps)
+    result = cluster.run(warmup, measure)
+    now = cluster.sim.now
+    edge = cluster.fabric.edge_port(0)
+    return {
+        "flow_goodput": list(result.flow_goodput),
+        "total_goodput": sum(result.flow_goodput),
+        "edge_pause_fraction": edge.pause_fraction(now) if edge else 0.0,
+        "sender_pause_fraction": [
+            sender.pause_fraction(now) for sender in cluster.fabric.senders
+        ],
+        "fabric_dropped": result.fabric.lines_dropped,
+        "fabric_checks": result.fabric_checks,
+        "mem_bw": result.host(0).class_bandwidth("mem"),
+        "rx_p2m_bw": result.host(0).class_bandwidth("p2m"),
+        "elapsed_ns": result.elapsed_ns,
+    }
+
+
+def dctcp_rack_point(
+    config: HostConfig,
+    n_flows: int,
+    n_mem_cores: int = 0,
+    store_fraction: float = 0.0,
+    ecn_threshold_lines: int = 64,
+    link_gbps: float = 100.0,
+    warmup: float = 30_000.0,
+    measure: float = 60_000.0,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """One rack DCTCP point: N flows into host 0 over an ECN fabric.
+
+    Each flow runs the full receive pipeline on host 0 (own NIC + copy
+    cores) and a paced sender on its source host; the lossless-free
+    fabric (PFC off) CE-marks above ``ecn_threshold_lines`` in the
+    shared edge queue, and each flow's control loop cuts its *remote*
+    sender's rate by the observed mark fraction — real switch-sourced
+    ECN, not the single-host drop heuristic.
+    """
+    cluster = Cluster(
+        config,
+        n_hosts=n_flows + 1,
+        seed=seed,
+        n_leaves=1,
+        link_gbps=link_gbps,
+        ecn_threshold_lines=ecn_threshold_lines,
+        pfc_enabled=False,
+    )
+    if n_mem_cores:
+        cluster.hosts[0].add_stream_cores(
+            n_mem_cores, store_fraction, traffic_class="mem"
+        )
+    receivers = [
+        add_dctcp_flow(cluster, src=src, dst=0, link_gbps=link_gbps)
+        for src in range(1, n_flows + 1)
+    ]
+    result = cluster.run(warmup, measure)
+    return {
+        "goodput": [r.goodput(result.elapsed_ns) for r in receivers],
+        "total_goodput": sum(r.goodput(result.elapsed_ns) for r in receivers),
+        "mark_fraction": [r.mark_fraction() for r in receivers],
+        "rate": [r.rate for r in receivers],
+        "fabric_marked": result.fabric.lines_marked,
+        "fabric_dropped": result.fabric.lines_dropped,
+        "fabric_checks": result.fabric_checks,
+        "mem_bw": result.host(0).class_bandwidth("mem"),
+        "copy_bw": result.host(0).class_bandwidth("copy"),
+        "elapsed_ns": result.elapsed_ns,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rack figures (no counterpart in the paper: its testbed was 2 hosts)
+# ----------------------------------------------------------------------
+
+
+def fig_rack_incast(
+    sender_counts: Sequence[int] = (1, 2, 3, 4),
+    n_mem_cores: int = 2,
+    config: Optional[HostConfig] = None,
+    warmup: float = 20_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """RDMA incast scaling: PFC fair-sharing vs sender count.
+
+    One flow runs at line rate; each added sender halves everyone's
+    share via switch-queue PFC (not host backpressure), while the
+    receiving host's memory app sees a constant aggregate DMA load.
+    """
+    if config is None:
+        config = cascade_lake()
+    data = FigureData(
+        "fig_rack_incast",
+        "Rack incast: N RDMA writers into one host over a shared edge queue",
+        "n_senders",
+        list(sender_counts),
+    )
+    points = run_calls(
+        [
+            (rdma_incast_point, (config, n, n_mem_cores), {"warmup": warmup, "measure": measure})
+            for n in sender_counts
+        ]
+    )
+    data.add("total_goodput", [p["total_goodput"] for p in points])
+    data.add("min_flow_goodput", [min(p["flow_goodput"]) for p in points])
+    data.add("max_flow_goodput", [max(p["flow_goodput"]) for p in points])
+    data.add("edge_pause_fraction", [p["edge_pause_fraction"] for p in points])
+    data.add("fabric_dropped", [p["fabric_dropped"] for p in points])
+    data.add("mem_bw", [p["mem_bw"] for p in points])
+    data.add("rx_p2m_bw", [p["rx_p2m_bw"] for p in points])
+    data.notes = (
+        "PFC keeps the fabric lossless (fabric_dropped == 0): the edge "
+        "queue pauses senders to the fair share of the last-hop link, "
+        "so min and max flow goodput track each other."
+    )
+    return data
+
+
+def fig_rack_dctcp(
+    flow_counts: Sequence[int] = (1, 2, 3),
+    n_mem_cores: int = 0,
+    config: Optional[HostConfig] = None,
+    warmup: float = 30_000.0,
+    measure: float = 60_000.0,
+) -> FigureData:
+    """Rack DCTCP: switch-queue ECN marks drive the senders' rates."""
+    if config is None:
+        config = cascade_lake()
+    data = FigureData(
+        "fig_rack_dctcp",
+        "Rack DCTCP: N flows sharing one edge queue with ECN marking",
+        "n_flows",
+        list(flow_counts),
+    )
+    points = run_calls(
+        [
+            (dctcp_rack_point, (config, n, n_mem_cores), {"warmup": warmup, "measure": measure})
+            for n in flow_counts
+        ]
+    )
+    data.add("total_goodput", [p["total_goodput"] for p in points])
+    data.add("min_flow_goodput", [min(p["goodput"]) for p in points])
+    data.add("max_flow_goodput", [max(p["goodput"]) for p in points])
+    data.add("mark_fraction", [max(p["mark_fraction"]) for p in points])
+    data.add("fabric_marked", [p["fabric_marked"] for p in points])
+    data.add("fabric_dropped", [p["fabric_dropped"] for p in points])
+    data.add("copy_bw", [p["copy_bw"] for p in points])
+    data.notes = (
+        "With one flow the queue stays under the ECN threshold (no "
+        "marks, line rate); multiple flows congest the shared edge "
+        "queue, CE marks rise, and rates converge near the fair share."
+    )
+    return data

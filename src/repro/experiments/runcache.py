@@ -92,34 +92,30 @@ def key_for(fn: Any, args: tuple = (), kwargs: Optional[dict] = None) -> Optiona
         spec = pickle.dumps((fn, args, sorted((kwargs or {}).items())), protocol=4)
     except Exception:
         return None
-    from repro.sim.records import burst_factor
-    from repro.validate.invariants import enabled as validate_enabled
+    from repro.sim.knobs import KnobSet
 
+    knobs = KnobSet.resolve()
     digest = hashlib.sha256()
     digest.update(code_fingerprint().encode())
     # Validated and unvalidated runs are float-identical by contract,
     # but their RunResults differ in the recorded check count — and a
     # REPRO_VALIDATE=1 suite must actually execute its checks rather
     # than replay an unvalidated cache. Keep the namespaces separate.
-    digest.update(b"validate=1" if validate_enabled() else b"validate=0")
+    digest.update(b"validate=1" if knobs.validate else b"validate=0")
     # Burst (macro-event) runs are approximations of the per-line
     # simulation: results at different REPRO_BURST factors must never
     # replay each other's cache entries.
-    digest.update(f"burst={burst_factor()}".encode())
+    digest.update(f"burst={knobs.burst}".encode())
     # The DDIO and per-bank-regulation force-knobs change host
     # behaviour without appearing in the pickled spec (the HostConfig
     # defaults stay off); keep their namespaces separate too.
-    from repro.dram.regulator import bank_reg_forced
-    from repro.uncore.kernel import uncore_enabled
-    from repro.uncore.llc import ddio_forced
-
-    digest.update(f"ddio={ddio_forced()}".encode())
-    digest.update(f"bankreg={bank_reg_forced()}".encode())
+    digest.update(f"ddio={knobs.ddio}".encode())
+    digest.update(f"bankreg={knobs.bank_reg}".encode())
     # The uncore kernel is float-identical by contract, but a cached
     # result must never mask a divergence: keep the namespaces apart so
     # REPRO_UNCORE=off actually recomputes (same reasoning as the DRAM
     # kernel's code_fingerprint coverage).
-    digest.update(f"uncore={uncore_enabled()}".encode())
+    digest.update(f"uncore={knobs.uncore}".encode())
     digest.update(spec)
     return digest.hexdigest()
 

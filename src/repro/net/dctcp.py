@@ -164,18 +164,28 @@ class DctcpReceiver:
         nic_buffer_bytes: int = 1 << 20,
         sock_capacity_bytes: int = 512 << 10,
         mtu_bytes: int = 9000,
+        nic: Optional[Nic] = None,
+        sender=None,
     ):
         self.host = host
         self.max_rate = link_gbps / 8.0
         self.rate = self.max_rate
         self.rtt_ns = rtt_ns
         self.sock = SocketBuffers(sock_capacity_bytes)
-        self.nic: Nic = host.add_nic(
-            ingress_rate=self.rate,
-            buffer_bytes=nic_buffer_bytes,
-            pfc_enabled=False,
-            name="nic",
-        )
+        #: fabric transmit side (a ``topology.fabric.FabricSender``)
+        #: when the flow crosses a modelled switch fabric; the control
+        #: loop then actuates the remote sender's pacing rate instead
+        #: of the local NIC's synthetic ingress process, and reacts to
+        #: real CE marks from the switch queues.
+        self.sender = sender
+        if nic is None:
+            nic = host.add_nic(
+                ingress_rate=self.rate,
+                buffer_bytes=nic_buffer_bytes,
+                pfc_enabled=False,
+                name="nic",
+            )
+        self.nic: Nic = nic
         self.copy_workloads: List[CopyWorkload] = []
         dst_lines = (64 << 20) // CACHELINE_BYTES
         for i in range(n_copy_cores):
@@ -202,6 +212,8 @@ class DctcpReceiver:
         self._copy_cores = host.cores[-n_copy_cores:]
         self._last_dropped = 0
         self._last_copied = 0
+        self._last_marked = 0
+        self._last_arrived = 0
         self.rate_history: List[float] = []
         host.sim.schedule(rtt_ns, self._tick)
 
@@ -218,6 +230,10 @@ class DctcpReceiver:
         # underlying counters mid-flight.
         drops = max(0, self.nic.rx.lines_dropped - self._last_dropped)
         self._last_dropped = self.nic.rx.lines_dropped
+        marks = max(0, self.nic.rx.lines_marked - self._last_marked)
+        self._last_marked = self.nic.rx.lines_marked
+        arrived = max(0, self.nic.rx.lines_arrived - self._last_arrived)
+        self._last_arrived = self.nic.rx.lines_arrived
         copied = sum(w.lines_copied for w in self.copy_workloads)
         copy_rate = max(0, copied - self._last_copied) * CACHELINE_BYTES / self.rtt_ns
         self._last_copied = copied
@@ -225,6 +241,12 @@ class DctcpReceiver:
             # Congestion response (fluid DCTCP: cut by the marked
             # fraction; a fixed factor captures the steady state).
             self.rate *= 0.7
+        elif marks > 0 and arrived > 0:
+            # ECN response: real CE marks from modelled switch queues,
+            # cut by half the marked fraction (fluid DCTCP with the
+            # steady-state alpha equal to the observed mark share).
+            frac = min(1.0, marks / arrived)
+            self.rate *= 1.0 - frac / 2.0
         else:
             # Additive increase toward line rate.
             self.rate = min(self.max_rate, self.rate + 0.05 * self.max_rate)
@@ -236,7 +258,10 @@ class DctcpReceiver:
         rwnd_rate = free_lines * CACHELINE_BYTES / self.rtt_ns
         self.rate = max(min(self.rate, rwnd_rate), 0.02 * self.max_rate)
         self.rate_history.append(self.rate)
-        self.nic.set_ingress_rate(self.rate)
+        if self.sender is not None:
+            self.sender.set_rate(self.rate)
+        else:
+            self.nic.set_ingress_rate(self.rate)
         self.host.sim.schedule(self.rtt_ns, self._tick)
 
     # ------------------------------------------------------------------
@@ -251,3 +276,56 @@ class DctcpReceiver:
     def loss_rate(self) -> float:
         """Packet-drop fraction at the lossy NIC buffer."""
         return self.nic.loss_rate()
+
+    def mark_fraction(self) -> float:
+        """CE-marked share of lines that arrived at the NIC."""
+        arrived = self.nic.rx.lines_arrived
+        if arrived == 0:
+            return 0.0
+        return self.nic.rx.lines_marked / arrived
+
+
+def add_dctcp_flow(
+    cluster,
+    src: int,
+    dst: int,
+    n_copy_cores: int = 4,
+    link_gbps: float = 100.0,
+    rtt_ns: float = 5_000.0,
+    nic_buffer_bytes: int = 1 << 20,
+    sock_capacity_bytes: int = 512 << 10,
+    mtu_bytes: int = 9000,
+) -> DctcpReceiver:
+    """Two-host DCTCP: the receive pipeline fed through a real fabric.
+
+    The destination host runs the full receive pipeline (NIC DMA +
+    copy cores); the paced sender on the source side crosses the
+    cluster's switch fabric, so CE marks come from modelled switch
+    queues (build the cluster with ``ecn_threshold_lines``) rather
+    than being inferred from local drops, and the control loop
+    actuates the remote sender's pacing — the true DCTCP feedback path
+    the single-host model approximated.
+
+    Each flow gets its own receive NIC (``dctcp<src>``) — one TCP
+    connection, one receive queue — so several flows into one host
+    contend in the shared last-hop switch queue and for the host's IIO
+    credits, not inside one NIC buffer.
+    """
+    flow = cluster.add_flow(
+        src,
+        dst,
+        link_gbps,
+        buffer_bytes=nic_buffer_bytes,
+        pfc_enabled=False,
+        nic_name=f"dctcp{src}",
+    )
+    return DctcpReceiver(
+        cluster.hosts[dst],
+        n_copy_cores=n_copy_cores,
+        link_gbps=link_gbps,
+        rtt_ns=rtt_ns,
+        sock_capacity_bytes=sock_capacity_bytes,
+        mtu_bytes=mtu_bytes,
+        nic=flow.nic,
+        sender=flow.sender,
+    )

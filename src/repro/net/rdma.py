@@ -57,3 +57,39 @@ def add_rdma_read_traffic(
         pfc_enabled=True,
         name=name,
     )
+
+
+def add_rdma_write_flow(
+    cluster,
+    src: int,
+    dst: int,
+    rate_gbps: float = 98.0,
+    buffer_bytes: int = 2 << 20,
+    nic_name: str = "nic",
+):
+    """Two-host ``ib_write_bw``: both host networks exist.
+
+    On the source host a transmit NIC DMA-reads the payload out of
+    memory (P2M reads at the wire rate — the sender-side host network
+    the single-host model had to omit); the paced wire stream then
+    crosses the cluster's fabric and lands in the destination host's
+    receive NIC as P2M writes. PFC is end-to-end and hop-by-hop: dst
+    host backpressure fills the receive NIC buffer, which pauses the
+    last-hop switch port, whose queue then pauses its feeders, all the
+    way back to the sender's pacing.
+
+    Returns the :class:`~repro.topology.cluster.ClusterFlow`.
+    """
+    cluster.hosts[src].add_nic(
+        egress_read_rate=gbps_to_bytes_per_ns(rate_gbps),
+        pfc_enabled=True,
+        name=f"tx_h{dst}",
+    )
+    return cluster.add_flow(
+        src,
+        dst,
+        rate_gbps,
+        buffer_bytes=buffer_bytes,
+        pfc_enabled=True,
+        nic_name=nic_name,
+    )

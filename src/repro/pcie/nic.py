@@ -18,7 +18,7 @@ memory at the egress rate (``ib_read_bw`` server side).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.dram.region import Region
 from repro.pcie.device import DmaDevice, DmaWorkload
@@ -55,15 +55,26 @@ class NicWorkload(DmaWorkload):
         self.lines_read = 0
         self.lines_dropped = 0
         self.lines_arrived = 0
+        #: CE-marked arrivals (set by congested fabric switch queues;
+        #: the DCTCP receiver echoes these back to its sender's rate)
+        self.lines_marked = 0
         self._pause_started = 0.0
         self.paused_time = 0.0
         self._window_start = 0.0
+        #: PFC propagation hook: called with the new pause state on
+        #: every transition, so a modelled fabric can stop the last-hop
+        #: switch port's drain while this NIC's buffer is paused (the
+        #: standalone host leaves it unset — pause then only gates the
+        #: NIC's self-paced ingress, exactly the historical behaviour).
+        self.on_pause_change: Optional[Callable[[bool], None]] = None
 
     # ------------------------- ingress side ----------------------------
 
-    def on_ingress_line(self, now: float) -> None:
+    def on_ingress_line(self, now: float, marked: bool = False) -> None:
         """One cacheline worth of packet data arrives from the wire."""
         self.lines_arrived += 1
+        if marked:
+            self.lines_marked += 1
         if self.queued_lines >= self.buffer_lines:
             # PFC should prevent this; in lossy mode it is a packet drop.
             self.lines_dropped += 1
@@ -77,9 +88,13 @@ class NicWorkload(DmaWorkload):
         if not self.paused and self.queued_lines >= self.pause_hi:
             self.paused = True
             self._pause_started = now
+            if self.on_pause_change is not None:
+                self.on_pause_change(True)
         elif self.paused and self.queued_lines <= self.pause_lo:
             self.paused = False
             self.paused_time += now - self._pause_started
+            if self.on_pause_change is not None:
+                self.on_pause_change(False)
 
     def pause_fraction(self, now: float) -> float:
         """Fraction of the window during which PFC paused the link."""
@@ -130,6 +145,7 @@ class NicWorkload(DmaWorkload):
         self.lines_read = 0
         self.lines_dropped = 0
         self.lines_arrived = 0
+        self.lines_marked = 0
         self.paused_time = 0.0
         self._window_start = now
         if self.paused:
@@ -207,6 +223,19 @@ class Nic(DmaDevice):
             self._pump()
         if self.ingress_rate > 0:
             self._schedule_ingress()
+
+    # --------------------------- fabric ---------------------------------
+
+    def fabric_deliver(self, now: float, marked: bool = False) -> None:
+        """Terminal fabric hop: a line arrives from a modelled switch.
+
+        Used instead of the self-paced ingress process when this NIC is
+        the receive edge of a :class:`~repro.topology.fabric` flow
+        (construct the NIC with ``ingress_rate=0`` then). The CE mark
+        set by congested switch queues lands in ``rx.lines_marked``.
+        """
+        self.rx.on_ingress_line(now, marked=marked)
+        self._pump()
 
     # --------------------------- metrics --------------------------------
 

@@ -279,26 +279,13 @@ def _knob_fingerprint() -> Dict[str, Any]:
     under another: the restored object graph would keep the old
     behaviour (it is baked into the constructed components) while
     fresh state used the new, and the "bit-identical to uninterrupted"
-    contract would be unfalsifiable. Compared on restore.
+    contract would be unfalsifiable. Compared on restore. The
+    resolution itself is one :meth:`~repro.sim.knobs.KnobSet.resolve`
+    — the same object hosts and clusters are constructed from.
     """
-    from repro.dram.kernel import kernel_enabled
-    from repro.dram.regulator import bank_reg_forced
-    from repro.sim.engine import wheel_enabled
-    from repro.sim.records import burst_factor, pool_enabled
-    from repro.uncore.kernel import uncore_enabled
-    from repro.uncore.llc import ddio_forced
-    from repro.validate.invariants import enabled as validate_enabled
+    from repro.sim.knobs import KnobSet
 
-    return {
-        "kernel": kernel_enabled(),
-        "uncore": uncore_enabled(),
-        "wheel": wheel_enabled(),
-        "burst": burst_factor(),
-        "pool": pool_enabled(),
-        "ddio": ddio_forced(),
-        "bank_reg": bank_reg_forced(),
-        "validate": validate_enabled(),
-    }
+    return KnobSet.resolve().fingerprint()
 
 
 def run_key(host, warmup_ns: float, measure_ns: float) -> str:
@@ -441,6 +428,87 @@ def restore_payload(payload: Dict[str, Any]):
         validator = host._validator if host._validator is not None else Validator()
         validator.post_restore(host)
     return host
+
+
+_CLUSTER_FORMAT = "cluster-ckpt"
+
+
+def save_cluster(cluster, path) -> Path:
+    """Snapshot a whole :class:`~repro.topology.cluster.Cluster`.
+
+    Same blob discipline as a host checkpoint — one checksummed pickle
+    of the full object graph (hosts, fabric, the shared engine, every
+    pool/waiter), the module-level Request free list riding in the
+    same memo, and the knob fingerprint gating restore.
+    """
+    from repro.experiments.runcache import encode_blob
+    from repro.sim import records
+
+    payload = {
+        "format": _CLUSTER_FORMAT,
+        "version": CKPT_VERSION,
+        "knobs": _knob_fingerprint(),
+        "pool": records.snapshot_pool(),
+        "cluster": cluster,
+    }
+    blob = encode_blob(payload)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".ckpt-tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_cluster(path):
+    """Revive a :func:`save_cluster` blob; returns the live cluster.
+
+    Verifies frame + checksum (corrupt blobs are quarantined), the
+    format/version markers, and the knob fingerprint — a rack
+    checkpointed under one knob set must not silently resume under
+    another — then restores the shared Request pool.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    from repro.experiments.runcache import decode_blob
+
+    ok, payload = decode_blob(blob)
+    if not ok:
+        _quarantine(path, "bad frame or checksum")
+        raise CheckpointError(f"corrupt checkpoint {path}")
+    if not isinstance(payload, dict) or payload.get("format") != _CLUSTER_FORMAT:
+        _quarantine(path, "not a cluster checkpoint")
+        raise CheckpointError(f"{path} is not a cluster checkpoint")
+    if payload.get("version") != CKPT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {payload.get('version')!r}, "
+            f"expected {CKPT_VERSION}"
+        )
+    saved = payload.get("knobs", {})
+    current = _knob_fingerprint()
+    mismatched = {
+        key: (value, current.get(key))
+        for key, value in saved.items()
+        if current.get(key) != value
+    }
+    if mismatched:
+        raise CheckpointError(
+            f"environment knobs changed since checkpoint: {mismatched} "
+            f"(saved, current) — resume under the original knobs or run fresh"
+        )
+    from repro.sim import records
+
+    records.restore_pool(payload["pool"])
+    return payload["cluster"]
 
 
 def try_resume(path, key: str):

@@ -346,7 +346,7 @@ class DomainTracker:
             frees += pool.free_count - mark_free
         total = 0.0
         count = 0
-        prefix = _DOMAIN_PREFIXES[kind]
+        prefix = self._hub.scoped(_DOMAIN_PREFIXES[kind])
         for name, stat in self._hub._latencies.items():
             if name.startswith(prefix):
                 total += stat.total

@@ -202,9 +202,20 @@ class CounterHub:
 
     The experiment runner resets the hub after warmup so every derived
     metric covers exactly the measurement window.
+
+    A non-empty ``namespace`` prefixes every registered name with
+    ``"<namespace>."`` at get-or-create time, so several hosts composed
+    into one cluster keep globally-distinguishable counter and pool
+    names (``h0.iio.write``, ``h1.iio.write``, ...). The default empty
+    namespace leaves every name byte-identical to the historical
+    layout — single-host fingerprints cannot move. Collection code
+    that parses registry keys by prefix uses :meth:`scoped` /
+    :meth:`local` to translate between bare and namespaced names.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._prefix = f"{namespace}." if namespace else ""
         self._occupancy: Dict[str, OccupancyCounter] = {}
         self._rates: Dict[str, RateCounter] = {}
         self._latencies: Dict[str, LatencyStat] = {}
@@ -217,8 +228,19 @@ class CounterHub:
         """When the current measurement window began."""
         return self._window_start
 
+    def scoped(self, name: str) -> str:
+        """The registry key for a bare name (namespace applied)."""
+        return self._prefix + name
+
+    def local(self, name: str) -> str:
+        """The bare name for a registry key (namespace stripped)."""
+        if self._prefix and name.startswith(self._prefix):
+            return name[len(self._prefix):]
+        return name
+
     def occupancy(self, name: str, capacity: Optional[int] = None) -> OccupancyCounter:
         """Get-or-create the named occupancy counter."""
+        name = self._prefix + name
         counter = self._occupancy.get(name)
         if counter is None:
             counter = OccupancyCounter(capacity)
@@ -243,11 +265,12 @@ class CounterHub:
         # so a module-level import would be circular.
         from repro.sim.credit import CreditPool
 
-        pool = self._pools.get(name)
+        scoped = self._prefix + name
+        pool = self._pools.get(scoped)
         if pool is None:
             occ = self.occupancy(name, None if soft else capacity)
-            pool = CreditPool(name, occ, capacity, soft=soft)
-            self._pools[name] = pool
+            pool = CreditPool(scoped, occ, capacity, soft=soft)
+            self._pools[scoped] = pool
         return pool
 
     def register_pool(self, pool: "CreditPool") -> None:
@@ -257,6 +280,7 @@ class CounterHub:
 
     def rate(self, name: str) -> RateCounter:
         """Get-or-create the named rate counter."""
+        name = self._prefix + name
         counter = self._rates.get(name)
         if counter is None:
             counter = RateCounter()
@@ -265,6 +289,7 @@ class CounterHub:
 
     def latency(self, name: str) -> LatencyStat:
         """Get-or-create the named latency stat."""
+        name = self._prefix + name
         stat = self._latencies.get(name)
         if stat is None:
             stat = LatencyStat()
@@ -273,6 +298,7 @@ class CounterHub:
 
     def traffic_class(self, name: str) -> ClassStats:
         """Get-or-create the per-class counter bundle."""
+        name = self._prefix + name
         stats = self._classes.get(name)
         if stats is None:
             stats = ClassStats()

@@ -1,0 +1,601 @@
+"""Rack fabric model: links, switch ports, ECN marking, per-hop PFC.
+
+The paper measured two physical servers on one 100 Gb/s link; ROADMAP
+item 1 turns :class:`~repro.topology.host.Host` into a composable node
+so a modelled rack can run experiments the authors couldn't. This
+module supplies the network between the hosts:
+
+* :class:`Link` — a point-to-point wire with bandwidth (serialization)
+  and propagation delay, the same two-term model as
+  :class:`~repro.pcie.link.PcieLink`.
+* :class:`SwitchPort` — one output-queued switch port: a FIFO of
+  cachelines draining onto its link, ECN marking above a queue-depth
+  threshold (the DCTCP congestion signal), and per-hop PFC — when the
+  queue crosses the pause threshold every upstream feeder is paused,
+  which is exactly the head-of-line coupling real PFC exhibits.
+* :class:`FabricSender` — a paced injector standing for a NIC's
+  transmit pipeline, pausable by first-hop PFC, rate-settable by a
+  congestion-control loop.
+* :class:`LeafSpineFabric` — hosts round-robined onto leaf switches,
+  leaves fully meshed to spines (the standard 2-tier Clos / EFraS
+  embedding shape); flow paths share ports, so cross-host contention
+  composes in the switch queues.
+
+The transfer unit is one cacheline (64 B), matching the rest of the
+simulator: a "packet" is its line count, and per-line service at link
+rate reproduces store-and-forward serialization without introducing a
+second granularity.
+
+Conservation discipline: every port maintains lifetime enqueue /
+forward / drop counters next to its window stats, and
+:meth:`LeafSpineFabric.check_conservation` asserts
+``enqueued == forwarded + dropped + queued`` on every port — the
+fabric analogue of the credit-conservation probe in
+:mod:`repro.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.records import CACHELINE_BYTES
+
+
+class Link:
+    """A unidirectional point-to-point wire.
+
+    ``send()`` serializes one payload at the link bandwidth behind any
+    payload still on the wire and returns the far-end arrival time
+    (serialization end + propagation). Same busy-cursor model as the
+    PCIe link, one direction per instance (fabric links are modelled
+    per-port, so each direction belongs to its sending port).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_ns: float,
+        t_prop: float = 500.0,
+    ):
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        if t_prop < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self._sim = sim
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.t_prop = t_prop
+        self._free = 0.0
+        self.bytes_sent = 0
+
+    def next_free(self) -> float:
+        """Earliest time a new payload can start serializing."""
+        free = self._free
+        now = self._sim.now
+        return free if free > now else now
+
+    def send(self, payload_bytes: int) -> float:
+        """Serialize a payload; returns the far-end arrival time."""
+        start = self.next_free()
+        self._free = start + payload_bytes / self.bandwidth
+        self.bytes_sent += payload_bytes
+        return self._free + self.t_prop
+
+    def reset_stats(self, now: float = 0.0) -> None:
+        """Zero the byte counter (serialization state is kept)."""
+        self.bytes_sent = 0
+
+
+class FabricLine:
+    """One cacheline in flight through the fabric.
+
+    ``deliver(now, marked)`` is the terminal callback at the egress
+    edge (the receiving NIC); ``marked`` carries the CE codepoint set
+    by any congested port along the path.
+    """
+
+    __slots__ = ("deliver", "marked")
+
+    def __init__(self, deliver: Callable[[float, bool], None]):
+        self.deliver = deliver
+        self.marked = False
+
+
+class SwitchPort:
+    """One output-queued switch port: FIFO + ECN + per-hop PFC.
+
+    Lines enqueue from upstream (a sender or another port), drain one
+    per serialization slot onto the port's :class:`Link`, and hand off
+    to ``downstream`` (the next port's :meth:`enqueue`, or the egress
+    adapter) at wire arrival time.
+
+    * **ECN** — a line enqueued while the queue holds at least
+      ``ecn_threshold`` lines is CE-marked (DCTCP's switch behaviour).
+    * **PFC** — with ``pfc_enabled``, crossing ``pause_hi`` queued
+      lines pauses every registered upstream (their drains stop;
+      senders stop pacing) until the queue drains to ``pause_lo`` —
+      pause propagates hop-by-hop because a paused upstream port's own
+      queue then grows past its own threshold.
+    * **Loss** — without PFC, lines arriving at a full queue are
+      dropped and counted (DCTCP's loss signal under extreme load).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        link: Link,
+        queue_capacity: int = 8192,
+        ecn_threshold: Optional[int] = None,
+        pfc_enabled: bool = True,
+        pause_threshold: float = 0.75,
+        resume_threshold: float = 0.25,
+    ):
+        if queue_capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self._sim = sim
+        self.name = name
+        self.link = link
+        self.queue_capacity = queue_capacity
+        self.ecn_threshold = ecn_threshold
+        self.pfc_enabled = pfc_enabled
+        self.pause_hi = max(1, int(queue_capacity * pause_threshold))
+        self.pause_lo = max(0, int(queue_capacity * resume_threshold))
+        self.downstream: Optional[Callable[[FabricLine], None]] = None
+        #: upstream feeders to PFC-pause; anything exposing
+        #: ``set_downstream_paused(flag)`` (ports, senders).
+        self._upstreams: List[object] = []
+        self._queue: List[FabricLine] = []
+        #: cursor into _queue (popleft without deque, keeps pickling
+        #: and repr simple; compacted on drain)
+        self._head = 0
+        self._draining = False
+        self.paused_downstream = False
+        self.pausing_upstream = False
+        # -- window stats (reset_stats) --
+        self.lines_enqueued = 0
+        self.lines_forwarded = 0
+        self.lines_marked = 0
+        self.lines_dropped = 0
+        self.max_depth = 0
+        self.paused_time = 0.0
+        self._pause_started = 0.0
+        self._window_start = 0.0
+        # -- lifetime conservation counters (never reset) --
+        self.total_enqueued = 0
+        self.total_forwarded = 0
+        self.total_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Lines currently queued."""
+        return len(self._queue) - self._head
+
+    def add_upstream(self, upstream: object) -> None:
+        """Register a feeder to pause when this queue congests."""
+        if all(existing is not upstream for existing in self._upstreams):
+            self._upstreams.append(upstream)
+
+    def enqueue(self, line: FabricLine) -> None:
+        """One line arrives from upstream."""
+        now = self._sim.now
+        depth = self.depth
+        self.lines_enqueued += 1
+        self.total_enqueued += 1
+        if depth >= self.queue_capacity:
+            # PFC upstream should prevent this; without it (lossy
+            # fabric) the line is dropped — DCTCP's loss signal.
+            self.lines_dropped += 1
+            self.total_dropped += 1
+            return
+        if self.ecn_threshold is not None and depth >= self.ecn_threshold:
+            if not line.marked:
+                line.marked = True
+                self.lines_marked += 1
+        self._queue.append(line)
+        depth += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self._update_pfc(now)
+        if not self._draining and not self.paused_downstream:
+            self._draining = True
+            self._sim.schedule(0.0, self._drain)
+
+    def set_downstream_paused(self, flag: bool) -> None:
+        """PFC from the next hop: stop/restart this port's drain."""
+        if self.paused_downstream == flag:
+            return
+        self.paused_downstream = flag
+        if not flag and not self._draining and self.depth > 0:
+            self._draining = True
+            self._sim.schedule(0.0, self._drain)
+
+    def _drain(self) -> None:
+        if self.paused_downstream or self.depth == 0:
+            self._draining = False
+            return
+        queue = self._queue
+        line = queue[self._head]
+        self._head += 1
+        if self._head > 64 and self._head * 2 >= len(queue):
+            del queue[: self._head]
+            self._head = 0
+        now = self._sim.now
+        arrival = self.link.send(CACHELINE_BYTES)
+        self.lines_forwarded += 1
+        self.total_forwarded += 1
+        self._update_pfc(now)
+        self._sim.schedule_at(arrival, self._deliver, line)
+        # Next serialization slot: when the wire is free again.
+        self._sim.schedule_at(self.link.next_free(), self._drain)
+
+    def _deliver(self, line: FabricLine) -> None:
+        self.downstream(line)
+
+    def _update_pfc(self, now: float) -> None:
+        if not self.pfc_enabled:
+            return
+        depth = self.depth
+        if not self.pausing_upstream and depth >= self.pause_hi:
+            self.pausing_upstream = True
+            self._pause_started = now
+            for upstream in self._upstreams:
+                upstream.set_downstream_paused(True)
+        elif self.pausing_upstream and depth <= self.pause_lo:
+            self.pausing_upstream = False
+            self.paused_time += now - self._pause_started
+            for upstream in self._upstreams:
+                upstream.set_downstream_paused(False)
+
+    # ------------------------------------------------------------------
+
+    def pause_fraction(self, now: float) -> float:
+        """Fraction of the window this port paused its upstreams."""
+        total = self.paused_time
+        if self.pausing_upstream:
+            total += now - self._pause_started
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return total / elapsed
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window (queue state is kept)."""
+        self.lines_enqueued = 0
+        self.lines_forwarded = 0
+        self.lines_marked = 0
+        self.lines_dropped = 0
+        self.max_depth = self.depth
+        self.paused_time = 0.0
+        self._window_start = now
+        if self.pausing_upstream:
+            self._pause_started = now
+        self.link.reset_stats(now)
+
+
+class FabricSender:
+    """A paced line injector: one flow's transmit side onto the fabric.
+
+    Stands for the wire-facing half of the sending NIC: lines leave at
+    ``rate`` bytes/ns toward the first-hop port, stop while that port
+    asserts PFC, and the rate is adjustable mid-run (the DCTCP control
+    loop's actuator). Lossless by construction — a paused sender
+    defers, it never drops.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        first_hop: SwitchPort,
+        deliver: Callable[[float, bool], None],
+        rate: float,
+    ):
+        self._sim = sim
+        self.name = name
+        self.first_hop = first_hop
+        self.deliver = deliver
+        self.rate = rate
+        self.lines_sent = 0
+        self.total_sent = 0
+        self.paused = False
+        self.paused_time = 0.0
+        self._pause_started = 0.0
+        self._window_start = 0.0
+        self._pending = False
+        first_hop.add_upstream(self)
+
+    def start(self) -> None:
+        """Begin pacing (idempotent)."""
+        if self.rate > 0 and not self._pending:
+            self._schedule()
+
+    def set_rate(self, rate: float) -> None:
+        """Adjust the pacing rate (congestion-control actuator)."""
+        self.rate = rate
+        if rate > 0 and not self._pending:
+            self._schedule()
+
+    def set_downstream_paused(self, flag: bool) -> None:
+        """First-hop PFC: stop/restart pacing."""
+        if self.paused == flag:
+            return
+        now = self._sim.now
+        self.paused = flag
+        if flag:
+            self._pause_started = now
+        else:
+            self.paused_time += now - self._pause_started
+            if self.rate > 0 and not self._pending:
+                self._schedule()
+
+    def _schedule(self) -> None:
+        self._pending = True
+        self._sim.schedule(CACHELINE_BYTES / self.rate, self._on_pace)
+
+    def _on_pace(self) -> None:
+        self._pending = False
+        if not self.paused:
+            self.lines_sent += 1
+            self.total_sent += 1
+            self.first_hop.enqueue(FabricLine(self.deliver))
+        if self.rate > 0 and not self.paused:
+            self._schedule()
+
+    def pause_fraction(self, now: float) -> float:
+        """Fraction of the window first-hop PFC held this sender."""
+        total = self.paused_time
+        if self.paused:
+            total += now - self._pause_started
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return total / elapsed
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window."""
+        self.lines_sent = 0
+        self.paused_time = 0.0
+        self._window_start = now
+        if self.paused:
+            self._pause_started = now
+
+
+@dataclass
+class PortStats:
+    """One port's window measurements (ClusterResult payload)."""
+
+    lines_enqueued: int
+    lines_forwarded: int
+    lines_marked: int
+    lines_dropped: int
+    max_depth: int
+    depth_now: int
+    pause_fraction: float
+
+
+@dataclass
+class FabricStats:
+    """Window stats for every port plus fabric-wide totals."""
+
+    ports: Dict[str, PortStats] = field(default_factory=dict)
+    lines_forwarded: int = 0
+    lines_marked: int = 0
+    lines_dropped: int = 0
+    pause_time_ports: int = 0
+
+    @property
+    def mark_fraction(self) -> float:
+        """CE-marked share of forwarded lines."""
+        if self.lines_forwarded == 0:
+            return 0.0
+        return self.lines_marked / self.lines_forwarded
+
+
+class LeafSpineFabric:
+    """A 2-tier Clos: hosts on leaves, leaves meshed to spines.
+
+    Hosts are assigned round-robin to ``n_leaves`` leaf switches. A
+    flow from host ``s`` to host ``d`` traverses
+
+    * ``leaf_up``: leaf(s)'s uplink port toward the flow's spine
+      (spine chosen by source leaf, so one leaf's flows to different
+      destinations share its uplink queue),
+    * ``spine_down``: the spine's downlink port toward leaf(d),
+    * ``leaf_down``: leaf(d)'s edge port toward host ``d`` — the
+      incast bottleneck, fed by every spine (and by same-leaf
+      senders, which skip the spine hop entirely).
+
+    Ports are created on first use, so an experiment only pays for the
+    paths its flows exercise; every created port appears in
+    :meth:`stats` and the conservation walk.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_hosts: int,
+        n_leaves: Optional[int] = None,
+        n_spines: int = 1,
+        link_bandwidth: float = 12.5,
+        t_prop: float = 500.0,
+        queue_capacity: int = 8192,
+        ecn_threshold: Optional[int] = None,
+        pfc_enabled: bool = True,
+    ):
+        if n_hosts <= 0:
+            raise ValueError("a fabric needs at least one host")
+        if n_spines <= 0:
+            raise ValueError("a fabric needs at least one spine")
+        self._sim = sim
+        self.n_hosts = n_hosts
+        self.n_leaves = max(1, n_leaves if n_leaves is not None else (n_hosts + 3) // 4)
+        self.n_spines = n_spines
+        self.link_bandwidth = link_bandwidth
+        self.t_prop = t_prop
+        self.queue_capacity = queue_capacity
+        self.ecn_threshold = ecn_threshold
+        self.pfc_enabled = pfc_enabled
+        self._ports: Dict[str, SwitchPort] = {}
+        self.senders: List[FabricSender] = []
+        #: per-host terminal delivery (set by Cluster when a host's NIC
+        #: attaches); keyed by host index.
+        self._edges: Dict[int, Callable[[float, bool], None]] = {}
+
+    # ------------------------------------------------------------------
+
+    def leaf_of(self, host: int) -> int:
+        """The leaf switch a host hangs off."""
+        return host % self.n_leaves
+
+    def _port(self, name: str) -> SwitchPort:
+        port = self._ports.get(name)
+        if port is None:
+            port = SwitchPort(
+                self._sim,
+                name,
+                Link(self._sim, self.link_bandwidth, self.t_prop),
+                queue_capacity=self.queue_capacity,
+                ecn_threshold=self.ecn_threshold,
+                pfc_enabled=self.pfc_enabled,
+            )
+            self._ports[name] = port
+        return port
+
+    def attach_edge(
+        self, host: int, deliver: Callable[[float, bool], None]
+    ) -> None:
+        """Record a host's ingress adapter (actual delivery is
+        per-line — see :class:`_EdgeDelivery`)."""
+        self._edges[host] = deliver
+
+    def path(self, src: int, dst: int) -> List[SwitchPort]:
+        """Get-or-create the port chain for a ``src → dst`` flow."""
+        for host in (src, dst):
+            if not 0 <= host < self.n_hosts:
+                raise ValueError(f"host index {host} out of range")
+        if src == dst:
+            raise ValueError("a flow needs two distinct hosts")
+        if dst not in self._edges:
+            raise ValueError(f"host {dst} has no attached ingress edge")
+        leaf_s = self.leaf_of(src)
+        leaf_d = self.leaf_of(dst)
+        edge = self._port(f"leaf{leaf_d}.down.h{dst}")
+        edge.downstream = _EdgeDelivery(self._sim)
+        if leaf_s == leaf_d:
+            return [edge]
+        spine = leaf_s % self.n_spines
+        up = self._port(f"leaf{leaf_s}.up.s{spine}")
+        down = self._port(f"spine{spine}.down.leaf{leaf_d}")
+        up.downstream = down.enqueue
+        down.downstream = edge.enqueue
+        down.add_upstream(up)
+        edge.add_upstream(down)
+        return [up, down, edge]
+
+    def connect(
+        self,
+        src: int,
+        dst: int,
+        deliver: Callable[[float, bool], None],
+        rate: float,
+        name: Optional[str] = None,
+    ) -> FabricSender:
+        """Create a paced ``src → dst`` flow; returns its sender.
+
+        ``deliver`` is the terminal callback on the destination host
+        (normally :meth:`repro.pcie.nic.Nic.fabric_deliver`, attached
+        via :meth:`attach_edge` by the cluster).
+        """
+        self.attach_edge(dst, deliver)
+        hops = self.path(src, dst)
+        sender = FabricSender(
+            self._sim,
+            name or f"h{src}->h{dst}",
+            hops[0],
+            deliver,
+            rate,
+        )
+        self.senders.append(sender)
+        return sender
+
+    def edge_port(self, dst: int) -> Optional[SwitchPort]:
+        """The last-hop port toward a host, if any flow created it."""
+        return self._ports.get(f"leaf{self.leaf_of(dst)}.down.h{dst}")
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self, now: float) -> None:
+        """Start a fresh measurement window on every port and sender."""
+        for port in self._ports.values():
+            port.reset_stats(now)
+        for sender in self.senders:
+            sender.reset_stats(now)
+
+    def stats(self, now: float) -> FabricStats:
+        """Window stats for every port, plus fabric totals."""
+        stats = FabricStats()
+        for name, port in sorted(self._ports.items()):
+            stats.ports[name] = PortStats(
+                lines_enqueued=port.lines_enqueued,
+                lines_forwarded=port.lines_forwarded,
+                lines_marked=port.lines_marked,
+                lines_dropped=port.lines_dropped,
+                max_depth=port.max_depth,
+                depth_now=port.depth,
+                pause_fraction=port.pause_fraction(now),
+            )
+            stats.lines_forwarded += port.lines_forwarded
+            stats.lines_marked += port.lines_marked
+            stats.lines_dropped += port.lines_dropped
+            if port.pausing_upstream or port.paused_time > 0:
+                stats.pause_time_ports += 1
+        return stats
+
+    def check_conservation(self) -> int:
+        """Assert ``enqueued == forwarded + dropped + queued`` on every
+        port (lifetime counters, so window resets cannot hide a leak).
+        Returns the number of checks performed."""
+        checks = 0
+        for name, port in self._ports.items():
+            expected = port.total_forwarded + port.total_dropped + port.depth
+            if port.total_enqueued != expected:
+                raise AssertionError(
+                    f"fabric port {name} leaks lines: enqueued "
+                    f"{port.total_enqueued} != forwarded {port.total_forwarded}"
+                    f" + dropped {port.total_dropped} + queued {port.depth}"
+                )
+            checks += 1
+        return checks
+
+
+class _EdgeDelivery:
+    """Terminal hop adapter: unwrap a FabricLine at the host edge.
+
+    Delivery is per-line (``line.deliver`` was bound by the flow's
+    sender), so several flows into one host — each with its own
+    receive NIC — share the edge port's queue yet land in their own
+    buffers.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+
+    def __call__(self, line: FabricLine) -> None:
+        line.deliver(self._sim.now, line.marked)
+
+
+def gbps(rate_gbps: float) -> float:
+    """Convert Gb/s to the simulator's bytes/ns unit."""
+    if rate_gbps < 0:
+        raise ValueError("rate must be non-negative")
+    return rate_gbps / 8.0
+
+
+#: ports-per-path tuple alias used by tests
+PathPorts = Tuple[SwitchPort, ...]

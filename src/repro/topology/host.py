@@ -26,17 +26,16 @@ from repro.pcie.nic import Nic
 from repro.pcie.nvme import NvmeDevice
 from repro.sim import checkpoint, watchdog
 from repro.sim.credit import DomainSnapshot, DomainTracker
-from repro.sim.engine import SimClock, make_simulator
-from repro.sim.records import CACHELINE_BYTES, RequestKind, burst_factor
+from repro.sim.engine import SimClock, Simulator, make_simulator
+from repro.sim.knobs import KnobSet
+from repro.sim.records import CACHELINE_BYTES, RequestKind
 from repro.telemetry.counters import CounterHub
 from repro.topology.presets import HostConfig
-from repro.dram.regulator import bank_reg_forced
 from repro.uncore.cha import CHA
 from repro.uncore.iio import IIO
-from repro.uncore.kernel import UncoreKernel, uncore_enabled
-from repro.uncore.llc import LastLevelCache, ddio_forced
+from repro.uncore.kernel import UncoreKernel
+from repro.uncore.llc import LastLevelCache
 from repro.validate import ValidatingSimulator, Validator
-from repro.validate import enabled as validate_enabled
 
 
 @dataclass
@@ -167,29 +166,49 @@ class Host:
         seed: int = 1,
         validate: Optional[bool] = None,
         burst: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+        namespace: str = "",
+        knobs: Optional[KnobSet] = None,
     ):
         self.config = config
+        #: the frozen ``REPRO_*`` knob resolution this host was built
+        #: under. A :class:`~repro.topology.cluster.Cluster` resolves
+        #: one set and passes it to every host, so two hosts on the
+        #: same clock cannot observe different knob values.
+        self.knobs = KnobSet.resolve() if knobs is None else knobs
         #: macro-event burst factor (lines per macro-request); ``None``
         #: defers to the ``REPRO_BURST`` environment knob. 1 (the
         #: default) is the exact per-line simulation.
-        self.burst = burst_factor() if burst is None else max(1, int(burst))
+        self.burst = self.knobs.burst if burst is None else max(1, int(burst))
         #: runtime invariant checking (repro.validate): ``None``
         #: defers to the ``REPRO_VALIDATE`` environment knob.
-        self.validate = validate_enabled() if validate is None else bool(validate)
-        self.sim = ValidatingSimulator() if self.validate else make_simulator()
+        self.validate = self.knobs.validate if validate is None else bool(validate)
+        #: counter/pool namespace (empty for a standalone host); a
+        #: cluster gives each host a distinct prefix ("h0", "h1", ...)
+        #: so every registry name stays globally unique on the shared
+        #: engine.
+        self.namespace = namespace
+        #: the event engine: private by default, injected when several
+        #: hosts compose onto one shared clock. An injecting driver
+        #: that wants invariant checking must inject a
+        #: :class:`~repro.validate.ValidatingSimulator` itself.
+        if sim is not None:
+            self.sim = sim
+        else:
+            self.sim = ValidatingSimulator() if self.validate else make_simulator()
         self._validator: Optional[Validator] = Validator() if self.validate else None
-        self.hub = CounterHub()
+        self.hub = CounterHub(namespace)
         self._rng = random.Random(seed)
         self._region_cursor = 0
         #: DDIO last mile: ``REPRO_DDIO`` force-overrides the config
         #: (forcing it on models the cache even for ``llc_mode="bypass"``
         #: configs, so any experiment can be re-run with DDIO).
-        forced_ddio = ddio_forced()
+        forced_ddio = self.knobs.ddio
         self.ddio_enabled = (
             config.ddio_enabled if forced_ddio is None else forced_ddio
         )
         #: per-bank regulation: ``REPRO_BANK_REG`` force-overrides.
-        forced_reg = bank_reg_forced()
+        forced_reg = self.knobs.bank_reg
         bank_reg_on = (
             config.bank_reg_enabled if forced_reg is None else forced_reg
         )
@@ -248,7 +267,7 @@ class Host:
         #: wiring below so every later ``self.cha.request_admission``
         #: reference picks up the kernel's bound method.
         self.uncore_kernel = None
-        if uncore_enabled():
+        if self.knobs.uncore:
             self.uncore_kernel = UncoreKernel(self.cha, self.iio)
         self.iio.cha_admission = self.cha.request_admission
         #: the Fig. 5 domain registry over the shared credit runtime;
@@ -298,6 +317,9 @@ class Host:
         self._started = False
         #: mid-run cursor set by checkpoint restore (see Host.restore)
         self._resume_state: Optional[checkpoint.RunState] = None
+        #: open-window cursor (begin_measurement/finalize_measurement)
+        self._window_t_start = 0.0
+        self._window_events_before = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -503,6 +525,43 @@ class Host:
         if self.uncore_kernel is not None:
             self.uncore_kernel.reset_window()
 
+    def begin_measurement(self) -> None:
+        """Open a measurement window at the current simulation time.
+
+        Resets every window counter, begins the validator window, and
+        records the window cursor (start time + engine event count).
+        Extracted from the run loop so an external driver that owns
+        the clock — a :class:`~repro.topology.cluster.Cluster` — can
+        open per-host windows itself and advance the shared engine
+        between them.
+        """
+        self.reset_measurement()
+        if self._validator is not None:
+            self._validator.begin_window(self)
+        self._window_t_start = self.sim.now
+        self._window_events_before = self.sim.events_processed
+
+    def finalize_measurement(self, wall_s: float = 0.0) -> RunResult:
+        """Close the window opened by :meth:`begin_measurement`.
+
+        Collects every metric over the window, fills in the engine
+        diagnostics from the recorded cursor, and runs the validator's
+        end-of-window probe walk. ``wall_s`` is the wall-clock time an
+        external driver spent advancing the engine (0 leaves the
+        events/s diagnostic unset).
+        """
+        result = self.collect(self.sim.now - self._window_t_start)
+        result.events_processed = (
+            self.sim.events_processed - self._window_events_before
+        )
+        result.sim_wall_s = wall_s
+        result.events_per_sec = (
+            result.events_processed / wall_s if wall_s > 0 else 0.0
+        )
+        if self._validator is not None:
+            result.invariant_checks = self._validator.end_window(self)
+        return result
+
     def run(self, warmup_ns: float = 20_000.0, measure_ns: float = 80_000.0) -> RunResult:
         """Warm up, measure, and collect results.
 
@@ -574,22 +633,20 @@ class Host:
             if state.phase == "warmup":
                 if state.t_end > self.sim.now:
                     self._drive(state.t_end, plan, wd, state)
-                self.reset_measurement()
-                if self._validator is not None:
-                    self._validator.begin_window(self)
+                self.begin_measurement()
                 state.phase = "measure"
-                state.t_start = self.sim.now
-                state.events_before = self.sim.events_processed
+                state.t_start = self._window_t_start
+                state.events_before = self._window_events_before
                 state.t_end = state.t_start + state.measure_ns
+            else:
+                # Resumed mid-measure: the window cursor lives in the
+                # restored state, not on the freshly-rebuilt host.
+                self._window_t_start = state.t_start
+                self._window_events_before = state.events_before
             wall_before = time.perf_counter()
             self._drive(state.t_end, plan, wd, state)
             wall_s = time.perf_counter() - wall_before
-        result = self.collect(self.sim.now - state.t_start)
-        result.events_processed = self.sim.events_processed - state.events_before
-        result.sim_wall_s = wall_s
-        result.events_per_sec = result.events_processed / wall_s if wall_s > 0 else 0.0
-        if self._validator is not None:
-            result.invariant_checks = self._validator.end_window(self)
+        result = self.finalize_measurement(wall_s)
         if plan is not None:
             plan.discard()
         self._resume_state = None
@@ -667,6 +724,10 @@ class Host:
         for name, stat in self.hub._latencies.items():
             if stat.count == 0:
                 continue
+            # Registry keys carry the host namespace; the RunResult
+            # keys are host-local (a cluster distinguishes hosts by
+            # RunResult position, not by key prefix).
+            name = self.hub.local(name)
             if name.startswith("domain."):
                 domain_latency[name[len("domain.") :]] = stat.average
             elif name.startswith("lfb.total."):

@@ -271,6 +271,80 @@ def assert_ddio_smoke_matches(path: str) -> int:
     return len(baseline)
 
 
+#: cluster smoke slice: a 2-host rack, one ``ib_write_bw`` flow from
+#: host 1 into host 0 (which also runs a write-heavy STREAM core),
+#: small edge queue, fig03-sized windows. Locks the whole coupling
+#: stack — engine injection, counter namespacing, fabric queues, PFC
+#: wiring, per-flow goodput attribution — bit-for-bit across commits.
+CLUSTER_SMOKE_WINDOWS = FIG03_FINGERPRINT_WINDOWS
+CLUSTER_SMOKE_QUEUE_LINES = 512
+
+
+def cluster_smoke_run() -> Any:
+    """Build and run the canonical 2-host RDMA smoke cluster."""
+    from repro.net.rdma import add_rdma_write_flow
+    from repro.topology.cluster import Cluster
+    from repro.topology.presets import cascade_lake
+
+    warmup, measure = CLUSTER_SMOKE_WINDOWS
+    cluster = Cluster(
+        cascade_lake(),
+        n_hosts=2,
+        queue_capacity_lines=CLUSTER_SMOKE_QUEUE_LINES,
+    )
+    cluster.hosts[0].add_stream_cores(
+        1, store_fraction=1.0, traffic_class="mem"
+    )
+    add_rdma_write_flow(cluster, src=1, dst=0)
+    return cluster.run(warmup, measure)
+
+
+def cluster_smoke_fingerprint() -> Dict[str, Dict[str, Any]]:
+    """Bit-exact fingerprint of the cluster smoke point.
+
+    Both hosts' RunResults are fingerprinted like fig03 points; the
+    fabric entry locks the switch-queue measurements (per-port counts,
+    pause fractions) and the per-flow goodput attribution.
+    """
+    result = cluster_smoke_run()
+    return {
+        "cluster.h0": result_fingerprint(result.host(0)),
+        "cluster.h1": result_fingerprint(result.host(1)),
+        "cluster.fabric": {
+            "ports": _encode_exact(result.fabric.ports),
+            "lines_forwarded": result.fabric.lines_forwarded,
+            "lines_marked": result.fabric.lines_marked,
+            "lines_dropped": result.fabric.lines_dropped,
+            "flow_goodput": _encode_exact(list(result.flow_goodput)),
+            "elapsed_ns": _encode_exact(result.elapsed_ns),
+        },
+    }
+
+
+def assert_cluster_smoke_matches(path: str) -> int:
+    """Re-run the cluster smoke point against its stored baseline.
+
+    Returns the number of labels compared. Like
+    :func:`assert_matches_fingerprint`, only baseline-recorded fields
+    are compared, so adding new measurements does not invalidate an
+    existing baseline — existing ones still must not move.
+    """
+    baseline = load_fingerprint(path)
+    current = cluster_smoke_fingerprint()
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        raise AssertionError(f"cluster baseline has unknown points: {missing}")
+    for label, expected in baseline.items():
+        got = current[label]
+        diffs = [name for name in expected if got.get(name) != expected[name]]
+        if diffs:
+            raise AssertionError(
+                f"cluster smoke fingerprint diverges at {label}: "
+                f"{', '.join(sorted(diffs))}"
+            )
+    return len(baseline)
+
+
 def load_fingerprint(path: str) -> Dict[str, Dict[str, Any]]:
     """Load a stored fingerprint file written by ``tools/fig03_check.py``."""
     with open(path, "r", encoding="utf-8") as fh:

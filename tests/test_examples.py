@@ -71,6 +71,16 @@ class TestExamples:
         assert "redis_deg" in out
         assert "Domain analysis" in out
 
+    def test_rack_incast(self, capsys):
+        module = load_example("rack_incast")
+        module.WARMUP_NS, module.MEASURE_NS = 5_000.0, 15_000.0
+        module.SENDER_COUNTS = (2,)
+        module.main()
+        out = capsys.readouterr().out
+        assert "rack incast" in out
+        assert "edge_pause_frac" in out
+        assert "lossless" in out
+
     def test_hostcc_mitigation(self, capsys):
         module = load_example("hostcc_mitigation")
         module.WARMUP_NS, module.MEASURE_NS = 10_000.0, 25_000.0

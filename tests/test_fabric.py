@@ -1,0 +1,320 @@
+"""Unit tests for the rack fabric: links, switch ports, senders,
+leaf/spine wiring, and the line-conservation discipline."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.records import CACHELINE_BYTES
+from repro.topology.fabric import (
+    FabricLine,
+    FabricSender,
+    LeafSpineFabric,
+    Link,
+    SwitchPort,
+    gbps,
+)
+
+#: 12.5 B/ns == 100 Gb/s; one cacheline serializes in 5.12 ns
+BW = 12.5
+
+
+def make_port(sim, **kwargs):
+    kwargs.setdefault("queue_capacity", 8)
+    link = Link(sim, BW, t_prop=kwargs.pop("t_prop", 10.0))
+    return SwitchPort(sim, kwargs.pop("name", "p"), link, **kwargs)
+
+
+class Sink:
+    """Recording terminal callback for FabricLine.deliver."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.deliveries = []
+
+    def __call__(self, now, marked):
+        self.deliveries.append((now, marked))
+
+
+class Upstream:
+    """Recording PFC target."""
+
+    def __init__(self):
+        self.flags = []
+
+    def set_downstream_paused(self, flag):
+        self.flags.append(flag)
+
+
+class TestLink:
+    def test_serialization_and_propagation(self):
+        sim = Simulator()
+        link = Link(sim, BW, t_prop=100.0)
+        t_ser = CACHELINE_BYTES / BW
+        first = link.send(CACHELINE_BYTES)
+        second = link.send(CACHELINE_BYTES)
+        assert first == pytest.approx(t_ser + 100.0)
+        # The second payload waits behind the first on the wire.
+        assert second == pytest.approx(2 * t_ser + 100.0)
+        assert link.next_free() == pytest.approx(2 * t_ser)
+        assert link.bytes_sent == 2 * CACHELINE_BYTES
+
+    def test_rejects_bad_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, 0.0)
+        with pytest.raises(ValueError):
+            Link(sim, BW, t_prop=-1.0)
+        with pytest.raises(ValueError):
+            gbps(-1.0)
+        assert gbps(100.0) == pytest.approx(12.5)
+
+
+class TestSwitchPort:
+    def test_fifo_order_and_wire_spacing(self):
+        sim = Simulator()
+        port = make_port(sim, t_prop=10.0)
+        sink = Sink(sim)
+        port.downstream = lambda line: line.deliver(sim.now, line.marked)
+        order = []
+        for i in range(4):
+            line = FabricLine(lambda now, marked, i=i: order.append((i, now)))
+            port.enqueue(line)
+        sim.run_until(1_000.0)
+        assert [i for i, _ in order] == [0, 1, 2, 3]
+        t_ser = CACHELINE_BYTES / BW
+        arrivals = [now for _, now in order]
+        # Store-and-forward: one serialization slot between arrivals.
+        for a, b in zip(arrivals, arrivals[1:]):
+            assert b - a == pytest.approx(t_ser)
+        assert port.lines_forwarded == 4
+        assert port.depth == 0
+
+    def test_ecn_marks_above_threshold(self):
+        sim = Simulator()
+        port = make_port(sim, ecn_threshold=2, pfc_enabled=False)
+        sink = Sink(sim)
+        port.downstream = lambda line: sink(sim.now, line.marked)
+        for _ in range(5):
+            port.enqueue(FabricLine(sink))
+        sim.run_until(1_000.0)
+        # Lines 0 and 1 saw depth < 2 at enqueue; 2, 3, 4 were marked.
+        assert port.lines_marked == 3
+        assert [marked for _, marked in sink.deliveries] == [
+            False, False, True, True, True,
+        ]
+
+    def test_already_marked_line_not_double_counted(self):
+        sim = Simulator()
+        port = make_port(sim, ecn_threshold=0, pfc_enabled=False)
+        port.downstream = lambda line: None
+        line = FabricLine(lambda now, marked: None)
+        line.marked = True
+        port.enqueue(line)
+        assert port.lines_marked == 0
+
+    def test_lossy_drop_when_full(self):
+        sim = Simulator()
+        port = make_port(sim, queue_capacity=4, pfc_enabled=False)
+        port.downstream = lambda line: None
+        for _ in range(10):
+            port.enqueue(FabricLine(lambda now, marked: None))
+        # All 10 arrivals counted; 6 dropped at the full queue.
+        assert port.lines_enqueued == 10
+        assert port.lines_dropped == 6
+        sim.run_until(1_000.0)
+        assert port.total_enqueued == (
+            port.total_forwarded + port.total_dropped + port.depth
+        )
+        assert port.total_forwarded == 4
+
+    def test_pfc_pauses_and_resumes_upstreams(self):
+        sim = Simulator()
+        port = make_port(sim, queue_capacity=8)  # pause_hi=6, pause_lo=2
+        port.downstream = lambda line: None
+        upstream = Upstream()
+        port.add_upstream(upstream)
+        for _ in range(6):
+            port.enqueue(FabricLine(lambda now, marked: None))
+        assert upstream.flags == [True]
+        assert port.pausing_upstream
+        sim.run_until(1_000.0)
+        # Drained below pause_lo: the upstream was resumed.
+        assert upstream.flags == [True, False]
+        assert not port.pausing_upstream
+        assert port.pause_fraction(sim.now) > 0.0
+
+    def test_downstream_pause_stops_drain(self):
+        sim = Simulator()
+        port = make_port(sim)
+        delivered = []
+        port.downstream = lambda line: delivered.append(line)
+        port.set_downstream_paused(True)
+        port.enqueue(FabricLine(lambda now, marked: None))
+        sim.run_until(500.0)
+        assert delivered == []
+        assert port.depth == 1
+        port.set_downstream_paused(False)
+        sim.run_until(1_000.0)
+        assert len(delivered) == 1
+        assert port.depth == 0
+
+    def test_add_upstream_is_idempotent(self):
+        sim = Simulator()
+        port = make_port(sim)
+        upstream = Upstream()
+        port.add_upstream(upstream)
+        port.add_upstream(upstream)
+        assert len(port._upstreams) == 1
+
+    def test_reset_stats_keeps_queue_and_lifetime_counters(self):
+        sim = Simulator()
+        port = make_port(sim, queue_capacity=8)
+        port.downstream = lambda line: None
+        port.set_downstream_paused(True)
+        for _ in range(3):
+            port.enqueue(FabricLine(lambda now, marked: None))
+        port.reset_stats(sim.now)
+        assert port.lines_enqueued == 0
+        assert port.depth == 3
+        assert port.total_enqueued == 3
+        assert port.max_depth == 3  # window max starts at current depth
+
+    def test_rejects_bad_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_port(sim, queue_capacity=0)
+
+
+class TestFabricSender:
+    def test_paces_at_rate(self):
+        sim = Simulator()
+        port = make_port(sim, queue_capacity=8192)
+        port.downstream = lambda line: None
+        sender = FabricSender(sim, "s", port, lambda now, marked: None, rate=BW)
+        sender.start()
+        sender.start()  # idempotent
+        sim.run_until(10_000.0)
+        expected = 10_000.0 / (CACHELINE_BYTES / BW)
+        assert sender.lines_sent == pytest.approx(expected, rel=0.01)
+
+    def test_set_rate_zero_stops_and_restart_works(self):
+        sim = Simulator()
+        port = make_port(sim, queue_capacity=8192)
+        port.downstream = lambda line: None
+        sender = FabricSender(sim, "s", port, lambda now, marked: None, rate=BW)
+        sender.start()
+        sim.run_until(1_000.0)
+        sent = sender.lines_sent
+        assert sent > 0
+        sender.set_rate(0.0)
+        sim.run_until(2_000.0)
+        assert sender.lines_sent <= sent + 1  # at most one in-flight pace
+        sender.set_rate(BW)
+        sim.run_until(3_000.0)
+        assert sender.lines_sent > sent + 10
+
+    def test_first_hop_pfc_pauses_pacing(self):
+        sim = Simulator()
+        # Tiny queue: pause_hi = 3 of 4.
+        port = make_port(sim, queue_capacity=4, t_prop=10.0)
+        port.downstream = lambda line: None
+        port.set_downstream_paused(True)  # force the queue to fill
+        sender = FabricSender(
+            sim, "s", port, lambda now, marked: None, rate=4 * BW
+        )
+        sender.start()
+        sim.run_until(500.0)
+        assert sender.paused
+        assert port.depth >= port.pause_hi
+        # Stop offering load, then let the queue drain: the resume edge
+        # fires exactly once (no refill oscillation).
+        sender.set_rate(0.0)
+        port.set_downstream_paused(False)
+        sim.run_until(2_000.0)
+        assert not sender.paused
+        assert sender.pause_fraction(sim.now) > 0.0
+        # Lossless: the paused sender deferred, nothing was dropped.
+        assert port.lines_dropped == 0
+
+
+class TestLeafSpineFabric:
+    def make(self, sim, n_hosts=8, **kwargs):
+        kwargs.setdefault("link_bandwidth", BW)
+        kwargs.setdefault("t_prop", 10.0)
+        return LeafSpineFabric(sim, n_hosts, **kwargs)
+
+    def test_leaf_assignment_round_robin(self):
+        fabric = self.make(Simulator(), n_hosts=8, n_leaves=2)
+        assert [fabric.leaf_of(h) for h in range(4)] == [0, 1, 0, 1]
+
+    def test_same_leaf_path_is_edge_only(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=4, n_leaves=1)
+        fabric.attach_edge(1, lambda now, marked: None)
+        hops = fabric.path(0, 1)
+        assert [p.name for p in hops] == ["leaf0.down.h1"]
+
+    def test_cross_leaf_path_goes_via_spine(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=4, n_leaves=2)
+        fabric.attach_edge(1, lambda now, marked: None)
+        hops = fabric.path(0, 1)  # leaf0 -> spine0 -> leaf1
+        assert [p.name for p in hops] == [
+            "leaf0.up.s0", "spine0.down.leaf1", "leaf1.down.h1",
+        ]
+        # PFC chain: edge pauses the spine port, which pauses the uplink.
+        assert hops[1] in hops[2]._upstreams
+        assert hops[0] in hops[1]._upstreams
+
+    def test_paths_share_ports(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=6, n_leaves=1)
+        fabric.attach_edge(0, lambda now, marked: None)
+        first = fabric.path(1, 0)
+        second = fabric.path(2, 0)
+        assert first[0] is second[0]  # the incast edge queue is shared
+
+    def test_path_errors(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=2)
+        with pytest.raises(ValueError):
+            fabric.path(0, 0)
+        with pytest.raises(ValueError):
+            fabric.path(0, 5)
+        with pytest.raises(ValueError):
+            fabric.path(0, 1)  # no edge attached yet
+        with pytest.raises(ValueError):
+            LeafSpineFabric(sim, 0)
+        with pytest.raises(ValueError):
+            LeafSpineFabric(sim, 2, n_spines=0)
+
+    def test_connect_delivers_end_to_end_with_marks(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=2, n_leaves=2, ecn_threshold=0)
+        sink = Sink(sim)
+        sender = fabric.connect(0, 1, sink, rate=BW)
+        sender.start()
+        sim.run_until(5_000.0)
+        assert len(sink.deliveries) > 10
+        # ecn_threshold=0 marks every line somewhere along the path.
+        assert all(marked for _, marked in sink.deliveries)
+        assert fabric.edge_port(1) is not None
+        assert fabric.edge_port(0) is None  # no flow toward host 0
+        assert fabric.check_conservation() == 3  # three ports walked
+
+    def test_stats_window_and_reset(self):
+        sim = Simulator()
+        fabric = self.make(sim, n_hosts=2, n_leaves=1)
+        sink = Sink(sim)
+        fabric.connect(0, 1, sink, rate=BW).start()
+        sim.run_until(2_000.0)
+        fabric.reset_stats(sim.now)
+        before = len(sink.deliveries)
+        sim.run_until(4_000.0)
+        stats = fabric.stats(sim.now)
+        edge = stats.ports["leaf0.down.h1"]
+        assert edge.lines_forwarded > 0
+        # Window stats cover only post-reset lines.
+        assert edge.lines_forwarded <= len(sink.deliveries) - before + 1
+        assert stats.lines_dropped == 0
+        assert stats.mark_fraction == 0.0

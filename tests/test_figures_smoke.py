@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.experiments import appendix, figures, netfigs
+from repro.experiments import appendix, figures, netfigs, rack
 
 TINY = dict(core_counts=(1, 2), warmup=3_000.0, measure=8_000.0)
 TINY_DCTCP = dict(core_counts=(2,), warmup=20_000.0, measure=30_000.0)
@@ -120,6 +120,23 @@ class TestNetworkFigures:
 
     def test_fig30(self):
         assert_wellformed(netfigs.fig30(**TINY_DCTCP), 1)
+
+
+class TestRackFigures:
+    def test_fig_rack_incast(self):
+        data = rack.fig_rack_incast(
+            sender_counts=(1, 2), n_mem_cores=1,
+            warmup=3_000.0, measure=8_000.0,
+        )
+        assert_wellformed(data, 2)
+        # PFC keeps the fabric lossless at any fan-in.
+        assert data.series["fabric_dropped"] == [0, 0]
+
+    def test_fig_rack_dctcp(self):
+        data = rack.fig_rack_dctcp(
+            flow_counts=(2,), warmup=5_000.0, measure=15_000.0,
+        )
+        assert_wellformed(data, 1)
 
 
 class TestFigureDataErrors:
